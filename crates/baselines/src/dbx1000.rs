@@ -1,0 +1,503 @@
+//! DBx1000 running TicToc (Yu et al., SIGMOD 2016) — the configuration the
+//! paper benchmarks ("DBx1000, utilizing the TicToc concurrency control
+//! mechanism").
+//!
+//! TicToc is a nondeterministic OCC with **per-row timestamp words**
+//! packing a write timestamp and an rts delta (`rts = wts + delta`).
+//! Readers snapshot the word around the data read (lock-free, retrying on
+//! torn reads); writers lock their rows at validation, derive
+//! `commit_ts = max(read wts, written rts + 1)`, revalidate the read set
+//! (extending `rts` where possible — the trick that lets TicToc commit
+//! schedules plain OCC would abort), apply, and release by storing the new
+//! timestamp word. Aborted attempts retry with bounded backoff.
+//!
+//! Real worker threads execute the batch; the claimed equivalent serial
+//! order is `(commit_ts, commit sequence)`, which the ordered-replay
+//! oracle validates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use ltpg_storage::{Database, RowId, TableError, TableId};
+use ltpg_txn::engine::CommitSemantics;
+use ltpg_txn::exec::{execute_speculative_on, CellStore, Mutation, TxnEffects};
+use ltpg_txn::{Batch, BatchEngine, BatchReport, Tid};
+
+use crate::cpu::{CpuCostModel, ParallelClock};
+
+const LOCK_BIT: u64 = 1 << 63;
+const WTS_MASK: u64 = (1 << 48) - 1;
+const DELTA_MAX: u64 = (1 << 15) - 1;
+
+#[inline]
+fn wts_of(w: u64) -> u64 {
+    w & WTS_MASK
+}
+#[inline]
+fn rts_of(w: u64) -> u64 {
+    wts_of(w) + ((w >> 48) & DELTA_MAX)
+}
+#[inline]
+fn locked(w: u64) -> bool {
+    w & LOCK_BIT != 0
+}
+#[inline]
+fn pack(wts: u64, rts: u64) -> u64 {
+    debug_assert!(rts >= wts);
+    let delta = (rts - wts).min(DELTA_MAX);
+    (delta << 48) | (wts & WTS_MASK)
+}
+
+/// A row a transaction read, with the timestamp word it observed.
+#[derive(Debug, Clone, Copy)]
+struct ReadEntry {
+    table: u16,
+    rid: RowId,
+    observed: u64,
+}
+
+/// Lock-free read view: snapshots timestamp words around each cell read.
+struct TicTocView<'a> {
+    db: &'a Database,
+    ts: &'a [Vec<AtomicU64>],
+    reads: std::cell::RefCell<Vec<ReadEntry>>,
+}
+
+impl TicTocView<'_> {
+    fn record(&self, table: u16, rid: RowId, word: u64) {
+        let mut reads = self.reads.borrow_mut();
+        if !reads.iter().any(|r| r.table == table && r.rid == rid) {
+            reads.push(ReadEntry { table, rid, observed: word });
+        }
+    }
+}
+
+impl CellStore for TicTocView<'_> {
+    fn cell(&self, table: TableId, key: i64, col: ltpg_storage::ColId) -> Option<i64> {
+        let t = self.db.table(table);
+        let rid = t.lookup(key)?;
+        let word = &self.ts[usize::from(table.0)][rid.idx()];
+        loop {
+            let w1 = word.load(Ordering::Acquire);
+            if locked(w1) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let v = t.get(rid, col);
+            let w2 = word.load(Ordering::Acquire);
+            if w1 == w2 {
+                self.record(table.0, rid, w1);
+                return Some(v);
+            }
+        }
+    }
+
+    fn row_exists(&self, table: TableId, key: i64) -> bool {
+        self.db.table(table).lookup(key).is_some()
+    }
+
+    fn row_width(&self, table: TableId) -> usize {
+        self.db.table(table).width()
+    }
+}
+
+/// The DBx1000/TicToc engine.
+pub struct Dbx1000Engine {
+    db: Database,
+    /// Per-table, per-row timestamp words.
+    ts: Vec<Vec<AtomicU64>>,
+    cost: CpuCostModel,
+    /// Real host threads used to execute the batch.
+    threads: usize,
+    /// Retries before a transaction is reported aborted.
+    max_retries: usize,
+}
+
+impl Dbx1000Engine {
+    /// Create an engine over `db`.
+    pub fn new(db: Database) -> Self {
+        let ts = db
+            .iter()
+            .map(|(_, t)| (0..t.capacity()).map(|_| AtomicU64::new(0)).collect())
+            .collect();
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+        Dbx1000Engine { db, ts, cost: CpuCostModel::default(), threads, max_retries: 100 }
+    }
+
+    /// Attempt one transaction; returns `(commit_ts, commit_seq, effects)`
+    /// or `None` on an abort that should retry. `Err(())` is a user abort.
+    /// `seq` is drawn *while the write locks are still held*, so that any
+    /// reader of this transaction's writes observes a later sequence — the
+    /// tie-breaker that makes `(commit_ts, seq)` a valid serial order.
+    #[allow(clippy::result_unit_err)]
+    fn attempt(
+        &self,
+        txn: &ltpg_txn::Txn,
+        seq: &AtomicU64,
+    ) -> Result<Option<(u64, u64, TxnEffects)>, ()> {
+        let view = TicTocView { db: &self.db, ts: &self.ts, reads: Default::default() };
+        let fx = match execute_speculative_on(&view, txn) {
+            Ok(fx) => fx,
+            Err(_) => return Err(()),
+        };
+        let reads = view.reads.into_inner();
+
+        // Write rows (existing rows only; inserts are fresh keys).
+        let mut write_rows: Vec<(u16, RowId)> = Vec::new();
+        for m in &fx.mutations {
+            match m {
+                Mutation::Update { table, key, .. } | Mutation::Add { table, key, .. } => {
+                    if let Some(rid) = self.db.table(*table).lookup(*key) {
+                        if !write_rows.contains(&(table.0, rid)) {
+                            write_rows.push((table.0, rid));
+                        }
+                    }
+                }
+                Mutation::Insert { .. } => {}
+                Mutation::Delete { .. } => {
+                    unimplemented!("TicToc reproduction does not support deletes")
+                }
+            }
+        }
+        write_rows.sort_unstable();
+
+        // Lock write rows in order.
+        let mut held: Vec<(u16, RowId)> = Vec::new();
+        let unlock_held = |held: &[(u16, RowId)], ts: &[Vec<AtomicU64>]| {
+            for &(t, rid) in held {
+                ts[usize::from(t)][rid.idx()].fetch_and(!LOCK_BIT, Ordering::Release);
+            }
+        };
+        for &(t, rid) in &write_rows {
+            let word = &self.ts[usize::from(t)][rid.idx()];
+            let mut spins = 0u32;
+            loop {
+                let w = word.load(Ordering::Acquire);
+                if !locked(w)
+                    && word
+                        .compare_exchange(w, w | LOCK_BIT, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    held.push((t, rid));
+                    break;
+                }
+                spins += 1;
+                if spins > 2_000 {
+                    unlock_held(&held, &self.ts);
+                    return Ok(None);
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        // Commit timestamp.
+        let mut commit_ts = 0u64;
+        for r in &reads {
+            commit_ts = commit_ts.max(wts_of(r.observed));
+        }
+        for &(t, rid) in &write_rows {
+            let w = self.ts[usize::from(t)][rid.idx()].load(Ordering::Acquire);
+            commit_ts = commit_ts.max(rts_of(w) + 1);
+        }
+
+        // Validate the read set, extending rts where possible.
+        for r in &reads {
+            if commit_ts <= rts_of(r.observed) {
+                continue;
+            }
+            let word = &self.ts[usize::from(r.table)][r.rid.idx()];
+            loop {
+                let cur = word.load(Ordering::Acquire);
+                let in_write_set = write_rows.contains(&(r.table, r.rid));
+                if wts_of(cur) != wts_of(r.observed) {
+                    unlock_held(&held, &self.ts);
+                    return Ok(None); // someone overwrote our read
+                }
+                if locked(cur) && !in_write_set {
+                    unlock_held(&held, &self.ts);
+                    return Ok(None); // a writer is mid-commit on our read
+                }
+                if commit_ts <= rts_of(cur) {
+                    break; // already extended far enough
+                }
+                if commit_ts - wts_of(cur) > DELTA_MAX {
+                    unlock_held(&held, &self.ts);
+                    return Ok(None); // delta overflow: rare, retry
+                }
+                let next = (cur & LOCK_BIT) | pack(wts_of(cur), commit_ts);
+                if word.compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire).is_ok() {
+                    break;
+                }
+            }
+        }
+
+        // Apply: cells first, then inserts, then release with the new wts.
+        for m in &fx.mutations {
+            match m {
+                Mutation::Update { table, key, col, value } => {
+                    let t = self.db.table(*table);
+                    if let Some(rid) = t.lookup(*key) {
+                        t.set(rid, *col, *value);
+                    }
+                }
+                Mutation::Add { table, key, col, delta } => {
+                    let t = self.db.table(*table);
+                    if let Some(rid) = t.lookup(*key) {
+                        t.add(rid, *col, *delta);
+                    }
+                }
+                Mutation::Insert { table, key, values } => {
+                    match self.db.table(*table).insert(*key, values) {
+                        Ok(rid) => {
+                            self.ts[usize::from(table.0)][rid.idx()]
+                                .store(pack(commit_ts, commit_ts), Ordering::Release);
+                        }
+                        Err(TableError::Duplicate(_)) => {
+                            // Another thread created the key concurrently;
+                            // treat as a user abort of this attempt.
+                            unlock_held(&held, &self.ts);
+                            return Err(());
+                        }
+                        Err(TableError::Full) => panic!("table out of insert headroom"),
+                    }
+                }
+                Mutation::Delete { .. } => unreachable!(),
+            }
+        }
+        let my_seq = seq.fetch_add(1, Ordering::AcqRel);
+        for &(t, rid) in &held {
+            // Store wts = rts = commit_ts and clear the lock in one go.
+            self.ts[usize::from(t)][rid.idx()].store(pack(commit_ts, commit_ts), Ordering::Release);
+        }
+        Ok(Some((commit_ts, my_seq, fx)))
+    }
+}
+
+impl BatchEngine for Dbx1000Engine {
+    fn name(&self) -> &'static str {
+        "DBx1000"
+    }
+
+    fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn execute_batch(&mut self, batch: &Batch) -> BatchReport {
+        let wall = Instant::now();
+        let n = batch.len();
+        let seq = AtomicU64::new(0);
+        // (commit_ts, seq, tid) per committed txn; attempts for costing.
+        let commits: Vec<parking_lot::Mutex<Option<(u64, u64)>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let attempts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let user_aborts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+
+        let threads = self.threads.min(n.max(1));
+        crossbeam::scope(|s| {
+            for th in 0..threads {
+                let engine = &*self;
+                let batch = &batch;
+                let commits = &commits;
+                let attempts = &attempts;
+                let user_aborts = &user_aborts;
+                let seq = &seq;
+                s.spawn(move |_| {
+                    let mut i = th;
+                    while i < n {
+                        let txn = &batch.txns[i];
+                        let mut tries = 0usize;
+                        loop {
+                            attempts[i].fetch_add(1, Ordering::Relaxed);
+                            match engine.attempt(txn, seq) {
+                                Ok(Some((cts, s, _fx))) => {
+                                    *commits[i].lock() = Some((cts, s));
+                                    break;
+                                }
+                                Ok(None) => {
+                                    tries += 1;
+                                    if tries > engine.max_retries {
+                                        break;
+                                    }
+                                    for _ in 0..(tries * 17) % 511 {
+                                        std::hint::spin_loop();
+                                    }
+                                }
+                                Err(()) => {
+                                    user_aborts[i].store(1, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
+                        }
+                        i += threads;
+                    }
+                });
+            }
+        })
+        .expect("TicToc worker panicked");
+
+        // Simulated time: per-attempt costs on the modelled 30-core pool,
+        // plus the serial chain through the batch's hottest RMW row (the
+        // cache-line ping-pong that throttles TicToc on small warehouse
+        // counts, Table II).
+        let mut clock = ParallelClock::new(self.cost.workers);
+        let mut row_writes: std::collections::HashMap<(u16, i64), u32> = std::collections::HashMap::new();
+        for (i, txn) in batch.txns.iter().enumerate() {
+            let tries = attempts[i].load(Ordering::Relaxed) as f64;
+            let per_attempt = txn.ops.len() as f64
+                * (self.cost.index_ns + self.cost.read_ns + self.cost.validate_ns)
+                + self.cost.write_ns * 2.0;
+            clock.assign(tries * per_attempt + (tries - 1.0).max(0.0) * self.cost.abort_ns);
+            if let Some(acc) = ltpg_txn::declared_accesses(txn) {
+                for (t, k) in acc.writes {
+                    *row_writes.entry((t.0, k)).or_default() += 1;
+                }
+            }
+        }
+        let hottest = row_writes.values().copied().max().unwrap_or(0);
+        clock.serial(f64::from(hottest) * self.cost.hot_rmw_ns);
+
+        let mut order: Vec<(u64, u64, Tid)> = Vec::new();
+        let mut aborted = Vec::new();
+        for (i, txn) in batch.txns.iter().enumerate() {
+            match *commits[i].lock() {
+                Some((cts, s)) => order.push((cts, s, txn.tid)),
+                None => aborted.push(txn.tid),
+            }
+        }
+        order.sort_unstable();
+        BatchReport {
+            committed: order.into_iter().map(|(_, _, tid)| tid).collect(),
+            aborted,
+            sim_ns: clock.makespan_ns(),
+            transfer_ns: 0.0,
+            wall_ns: wall.elapsed().as_nanos() as u64,
+            semantics: CommitSemantics::SerialOrder,
+        }
+    }
+}
+
+impl std::fmt::Debug for Dbx1000Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dbx1000Engine").field("threads", &self.threads).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltpg_storage::{ColId, TableBuilder};
+    use ltpg_txn::oracle::check_ordered_serializable;
+    use ltpg_txn::{ComputeFn, IrOp, ProcId, Src, TidGen, Txn};
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableBuilder::new("T").columns(["a", "b"]).capacity(4096).build());
+        for k in 0..64 {
+            db.table(t).insert(k, &[0, 0]).unwrap();
+        }
+        (db, t)
+    }
+
+    fn rmw(t: TableId, k: i64) -> Txn {
+        Txn::new(
+            ProcId(0),
+            vec![],
+            vec![
+                IrOp::Read { table: t, key: Src::Const(k), col: ColId(0), out: 0 },
+                IrOp::Compute { f: ComputeFn::Add, a: Src::Reg(0), b: Src::Const(1), out: 0 },
+                IrOp::Update { table: t, key: Src::Const(k), col: ColId(0), val: Src::Reg(0) },
+            ],
+        )
+    }
+
+    #[test]
+    fn contended_rmws_all_commit_and_accumulate() {
+        let (db, t) = setup();
+        let pre = db.deep_clone();
+        let mut engine = Dbx1000Engine::new(db);
+        let mut gen = TidGen::new();
+        // 200 RMWs over 4 keys from up to 8 real threads.
+        let txns: Vec<Txn> = (0..200).map(|i| rmw(t, (i % 4) as i64)).collect();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let report = engine.execute_batch(&batch);
+        assert_eq!(report.committed.len(), 200, "retries must drain all RMWs");
+        let total: i64 = (0..4)
+            .map(|k| {
+                let rid = engine.database().table(t).lookup(k).unwrap();
+                engine.database().table(t).get(rid, ColId(0))
+            })
+            .sum();
+        assert_eq!(total, 200, "every increment applied exactly once");
+        let ordered: Vec<&Txn> =
+            report.committed.iter().map(|tid| batch.by_tid(*tid).unwrap()).collect();
+        check_ordered_serializable(&pre, &ordered, engine.database()).unwrap();
+    }
+
+    #[test]
+    fn concurrent_inserts_of_distinct_keys_commit() {
+        let (db, t) = setup();
+        let mut engine = Dbx1000Engine::new(db);
+        let mut gen = TidGen::new();
+        let txns: Vec<Txn> = (0..100)
+            .map(|_| {
+                Txn::new(
+                    ProcId(0),
+                    vec![],
+                    vec![
+                        // Fresh keys: 1000 + TID (preloaded keys are 0..64).
+                        IrOp::Compute { f: ComputeFn::Add, a: Src::Tid, b: Src::Const(1000), out: 0 },
+                        IrOp::Insert { table: t, key: Src::Reg(0), values: vec![Src::Const(1), Src::Const(2)] },
+                    ],
+                )
+            })
+            .collect();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let report = engine.execute_batch(&batch);
+        assert_eq!(report.committed.len(), 100);
+        assert_eq!(engine.database().table(t).live_rows(), 64 + 100);
+    }
+
+    #[test]
+    fn ts_word_packing_roundtrips() {
+        let w = pack(1234, 1234 + 77);
+        assert_eq!(wts_of(w), 1234);
+        assert_eq!(rts_of(w), 1311);
+        assert!(!locked(w));
+        assert!(locked(w | LOCK_BIT));
+        assert_eq!(wts_of(w | LOCK_BIT), 1234);
+        // Delta saturates.
+        let big = pack(10, 10 + DELTA_MAX + 500);
+        assert_eq!(rts_of(big), 10 + DELTA_MAX);
+    }
+
+    #[test]
+    fn read_then_write_by_others_is_linearized() {
+        // A writer and many readers of one row; readers copy into their own
+        // row. Whatever interleaving happens, the ordered oracle must hold.
+        let (db, t) = setup();
+        let pre = db.deep_clone();
+        let mut engine = Dbx1000Engine::new(db);
+        let mut gen = TidGen::new();
+        let mut txns = vec![Txn::new(
+            ProcId(0),
+            vec![],
+            vec![IrOp::Update { table: t, key: Src::Const(1), col: ColId(0), val: Src::Const(42) }],
+        )];
+        for i in 0..30 {
+            txns.push(Txn::new(
+                ProcId(0),
+                vec![],
+                vec![
+                    IrOp::Read { table: t, key: Src::Const(1), col: ColId(0), out: 0 },
+                    IrOp::Update { table: t, key: Src::Const(10 + i), col: ColId(1), val: Src::Reg(0) },
+                ],
+            ));
+        }
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let report = engine.execute_batch(&batch);
+        assert_eq!(report.committed.len(), 31);
+        let ordered: Vec<&Txn> =
+            report.committed.iter().map(|tid| batch.by_tid(*tid).unwrap()).collect();
+        check_ordered_serializable(&pre, &ordered, engine.database()).unwrap();
+    }
+}

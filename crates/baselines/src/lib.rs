@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # ltpg-baselines — the paper's eight comparison systems
+//!
+//! Reimplementations of every system LTPG is evaluated against (paper
+//! §VI-A), all running over the shared substrates (`ltpg-storage` tables,
+//! the `ltpg-txn` IR, and — for the two GPU systems — the `ltpg-gpu-sim`
+//! device):
+//!
+//! | Engine | Kind | Essence |
+//! |---|---|---|
+//! | [`AriaEngine`] | CPU, deterministic | batch OCC against a snapshot, reservation tables, optional deterministic reordering |
+//! | [`CalvinEngine`] | CPU, deterministic | single-threaded lock manager over pre-declared R/W sets, worker pool execution |
+//! | [`BohmEngine`] | CPU, deterministic | MVCC placeholder insertion partitioned by key, then dependency-resolved execution |
+//! | [`PwvEngine`] | CPU, deterministic | transaction fragments with early write visibility, per-partition TID-ordered execution |
+//! | [`Dbx1000Engine`] | CPU, nondeterministic | TicToc OCC (per-row read/write timestamps, validation with rts extension), real worker threads |
+//! | [`BambooEngine`] | CPU, nondeterministic | wound-wait 2PL with early lock release on hot rows and commit dependencies |
+//! | [`GputxEngine`] | GPU (simulated) | T-dependency graph from declared sets, rank-by-rank bulk-synchronous execution |
+//! | [`GaccoEngine`] | GPU (simulated) | pre-processing sort into per-key conflict order, wave execution with atomic-exchange optimization |
+//!
+//! Every engine implements [`ltpg_txn::BatchEngine`], so the benchmark
+//! harness sweeps them interchangeably with LTPG. Deterministic engines
+//! are validated by the ordered-replay oracle; the two nondeterministic
+//! ones by final-state equivalence against their claimed commit order plus
+//! the TPC-C invariants.
+//!
+//! Simulated time for the CPU engines comes from one calibrated
+//! [`cpu::CpuCostModel`] (30 workers, matching the paper's "30 CPU cores"),
+//! so GPU-vs-CPU throughput ratios are comparable in shape.
+
+pub mod aria;
+pub mod bamboo;
+pub mod bohm;
+pub mod calvin;
+pub mod cpu;
+pub mod dbx1000;
+pub mod gacco;
+pub mod gputx;
+pub mod pwv;
+
+pub use aria::AriaEngine;
+pub use bamboo::BambooEngine;
+pub use bohm::BohmEngine;
+pub use calvin::CalvinEngine;
+pub use cpu::CpuCostModel;
+pub use dbx1000::Dbx1000Engine;
+pub use gacco::GaccoEngine;
+pub use gputx::GputxEngine;
+pub use pwv::PwvEngine;

@@ -1,0 +1,61 @@
+//! Criterion micro-bench: the ordered-index (B+tree) substrate — insert,
+//! point get, and range-scan throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltpg_storage::{OrderedIndex, RowId};
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.bench_function("insert_sequential", |b| {
+        b.iter_batched(
+            OrderedIndex::new,
+            |idx| {
+                for k in 0..4_096i64 {
+                    idx.insert(k, RowId(k as u32));
+                }
+                black_box(idx)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("insert_random", |b| {
+        // A fixed pseudo-random permutation (LCG) of 4096 keys.
+        b.iter_batched(
+            OrderedIndex::new,
+            |idx| {
+                let mut k = 1u64;
+                for _ in 0..4_096 {
+                    k = k.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    idx.insert((k >> 16) as i64, RowId(k as u32));
+                }
+                black_box(idx)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+
+    let idx = OrderedIndex::new();
+    for k in 0..100_000i64 {
+        idx.insert(k * 2, RowId(k as u32));
+    }
+    group.bench_function("get", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7_919) % 200_000;
+            black_box(idx.get(k))
+        });
+    });
+    for len in [16i64, 256] {
+        group.bench_function(BenchmarkId::new("range", len), |b| {
+            let mut lo = 0i64;
+            b.iter(|| {
+                lo = (lo + 7_919) % 150_000;
+                black_box(idx.range(lo, lo + len))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-bench: end-to-end batch execution (host wall-clock) for
+//! LTPG and the baselines on a small shared TPC-C stream. The simulated
+//! numbers live in the table binaries; this tracks the reproduction's own
+//! processing cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltpg_bench::{build_tpcc_engine, SystemKind};
+use ltpg_txn::{Batch, TidGen};
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+
+fn bench_engines(c: &mut Criterion) {
+    let batch_size = 256usize;
+    let cfg = TpccConfig::new(1, 50).with_headroom(1 << 20);
+    let (db0, tables, _g) = TpccGenerator::new(cfg.clone());
+    let mut group = c.benchmark_group("engine/batch_256");
+    group.sample_size(10);
+    for kind in [
+        SystemKind::Ltpg,
+        SystemKind::Gacco,
+        SystemKind::Gputx,
+        SystemKind::Aria,
+        SystemKind::Calvin,
+        SystemKind::Pwv,
+        SystemKind::Dbx1000,
+        SystemKind::Bamboo,
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            let mut engine = build_tpcc_engine(kind, db0.deep_clone(), &tables, batch_size);
+            let mut gen = TpccGenerator::from_parts(cfg.clone(), tables);
+            let mut tids = TidGen::new();
+            b.iter(|| {
+                let batch = Batch::assemble(vec![], gen.gen_batch(batch_size), &mut tids);
+                black_box(engine.execute_batch(&batch))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-bench: the storage substrate's hot paths — primary
+//! index probes, cell access, and speculative transaction execution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ltpg_storage::{ColId, Database, PrimaryIndex, RowId, TableBuilder};
+use ltpg_txn::{execute_speculative, IrOp, ProcId, Src, Txn};
+
+fn bench_index(c: &mut Criterion) {
+    let idx = PrimaryIndex::with_capacity(100_000);
+    for k in 0..100_000i64 {
+        idx.insert(k, RowId(k as u32)).unwrap();
+    }
+    let mut group = c.benchmark_group("index");
+    group.bench_function("get_hit", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 7_919) % 100_000;
+            black_box(idx.get(k))
+        });
+    });
+    group.bench_function("get_miss", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k += 1;
+            black_box(idx.get(1_000_000 + k))
+        });
+    });
+    group.finish();
+}
+
+fn bench_speculate(c: &mut Criterion) {
+    let mut db = Database::new();
+    let t = db.add_table(TableBuilder::new("T").columns(["a", "b"]).capacity(10_000).build());
+    for k in 0..10_000 {
+        db.table(t).insert(k, &[k, 0]).unwrap();
+    }
+    let txn = Txn::new(
+        ProcId(0),
+        vec![],
+        (0..10)
+            .map(|i| IrOp::Read { table: t, key: Src::Const(i * 997 % 10_000), col: ColId(0), out: 0 })
+            .chain(std::iter::once(IrOp::Update {
+                table: t,
+                key: Src::Const(42),
+                col: ColId(1),
+                val: Src::Reg(0),
+            }))
+            .collect(),
+    );
+    c.bench_function("exec/speculate_11_ops", |b| {
+        b.iter(|| black_box(execute_speculative(&db, &txn).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_index, bench_speculate);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-bench: workload generation — Zipf sampling at the
+//! paper's α = 2.5 and the Gray regime, and TPC-C transaction assembly.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ltpg_workloads::{TpccConfig, TpccGenerator, Zipf};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zipf/sample");
+    for (label, alpha) in [("alpha2.5", 2.5f64), ("alpha0.99", 0.99), ("alpha0.4", 0.4)] {
+        let z = Zipf::new(1_000_000, alpha);
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(z.sample_scrambled(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tpcc_gen(c: &mut Criterion) {
+    // Small warehouse count so setup stays cheap; generation cost is
+    // independent of the database size.
+    let cfg = TpccConfig::new(1, 50).with_headroom(64);
+    let (_db, tables, _gen) = TpccGenerator::new(cfg.clone());
+    let mut group = c.benchmark_group("tpcc/gen_txn");
+    for (label, pct) in [("mixed", 50u8), ("neworder", 100), ("payment", 0)] {
+        let cfg2 = TpccConfig::new(1, pct).with_headroom(64);
+        let mut gen = TpccGenerator::from_parts(cfg2, tables);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(gen.gen_txn()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_zipf, bench_tpcc_gen);
+criterion_main!(benches);

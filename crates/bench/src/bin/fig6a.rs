@@ -1,0 +1,63 @@
+//! **Fig. 6(a)** — LTPG commit rate and per-batch latency as batch size
+//! grows, 50/50 TPC-C mix. The paper's claims: latency between ~300 µs and
+//! 8 ms across the sweep, commit rate stable between 50 % and 75 %.
+//!
+//! Default: warehouses 32, batch 2⁸..2¹⁴; `--full` extends to 2¹⁶.
+
+use ltpg_bench::*;
+use ltpg_txn::TidGen;
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    batch: usize,
+    commit_rate: f64,
+    latency_us: f64,
+    mtps: f64,
+}
+
+fn main() {
+    let full = full_scale();
+    let exps: &[u32] = if full { &[8, 9, 10, 11, 12, 13, 14, 15, 16] } else { &[8, 9, 10, 11, 12, 13, 14] };
+    let w = 32i64;
+    let max_batch = 1usize << exps.last().copied().unwrap();
+    let cfg = TpccConfig::new(w, 50).with_headroom(max_batch * 40);
+    let (db0, tables, _g) = TpccGenerator::new(cfg.clone());
+    eprintln!("[fig6a] database built (W={w})");
+
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &e in exps {
+        let b = 1usize << e;
+        let db = db0.deep_clone();
+        let mut engine = build_tpcc_engine(SystemKind::Ltpg, db, &tables, b);
+        let mut gen = TpccGenerator::from_parts(cfg.clone(), tables);
+        let mut tids = TidGen::new();
+        let batches = (3usize << 14 >> e).clamp(2, 24);
+        let out = run_stream(&mut *engine, &mut |n| gen.gen_batch(n), &mut tids, batches, b);
+        rows.push(vec![
+            format!("2^{e}"),
+            format!("{:.1}", 100.0 * out.mean_commit_rate),
+            format!("{:.0}", out.mean_batch_ns / 1e3),
+            format!("{:.2}", out.mtps()),
+        ]);
+        records.push(Point {
+            batch: b,
+            commit_rate: out.mean_commit_rate,
+            latency_us: out.mean_batch_ns / 1e3,
+            mtps: out.mtps(),
+        });
+    }
+    print_table(
+        "Fig. 6(a) — LTPG commit rate and latency vs batch size (50/50, W=32)",
+        &[
+            "batch".to_string(),
+            "commit rate %".to_string(),
+            "latency us".to_string(),
+            "MTPS".to_string(),
+        ],
+        &rows,
+    );
+    write_json("fig6a", &records);
+}

@@ -1,0 +1,71 @@
+//! **Table II** — throughput (10⁶ TXs/s) of all nine systems on TPC-C,
+//! across NewOrder percentage ∈ {50, 100, 0} and warehouse count.
+//!
+//! Default grid: warehouses {8, 32}, GPU batch 4096, 3 GPU batches per
+//! cell. `--full`: warehouses {8, 16, 32, 64}, GPU batch 2¹⁴, 5 batches.
+
+use ltpg_bench::*;
+use ltpg_txn::TidGen;
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    system: &'static str,
+    neworder_pct: u8,
+    warehouses: i64,
+    mtps: f64,
+    commit_rate: f64,
+    mean_batch_us: f64,
+}
+
+fn main() {
+    let full = full_scale();
+    let warehouses: &[i64] = if full { &[8, 16, 32, 64] } else { &[8, 32] };
+    let gpu_batch = if full { 1 << 14 } else { 4096 };
+    let gpu_batches = if full { 5 } else { 3 };
+    let mixes: [u8; 3] = [50, 100, 0];
+
+    let mut records: Vec<Cell> = Vec::new();
+    let mut header = vec!["System".to_string()];
+    for pct in mixes {
+        for w in warehouses {
+            header.push(format!("{pct}-{w}"));
+        }
+    }
+    let mut rows: Vec<Vec<String>> = SystemKind::ALL.iter().map(|k| vec![k.name().to_string()]).collect();
+
+    for pct in mixes {
+        for &w in warehouses {
+            let cfg = TpccConfig::new(w, pct).with_headroom(gpu_batch * gpu_batches * 20);
+            let (db0, tables, _g) = TpccGenerator::new(cfg.clone());
+            eprintln!("[table2] config {pct}-{w}: database built");
+            for (row, &kind) in rows.iter_mut().zip(SystemKind::ALL.iter()) {
+                let db = db0.deep_clone();
+                let mut engine = build_tpcc_engine(kind, db, &tables, gpu_batch);
+                let mut gen = TpccGenerator::from_parts(cfg.clone(), tables);
+                let bs = kind.preferred_batch(gpu_batch);
+                let batches = (gpu_batches * gpu_batch / bs).clamp(2, 64);
+                let mut tids = TidGen::new();
+                let out =
+                    run_stream(&mut *engine, &mut |n| gen.gen_batch(n), &mut tids, batches, bs);
+                row.push(format!("{:.2}", out.mtps()));
+                records.push(Cell {
+                    system: kind.name(),
+                    neworder_pct: pct,
+                    warehouses: w,
+                    mtps: out.mtps(),
+                    commit_rate: out.mean_commit_rate,
+                    mean_batch_us: out.mean_batch_ns / 1e3,
+                });
+                eprintln!("  {:>8}: {:.2} MTPS", kind.name(), out.mtps());
+            }
+        }
+    }
+    print_table(
+        "Table II — TPC-C throughput (10^6 TXs/s); columns are <NewOrder%>-<warehouses>",
+        &header,
+        &rows,
+    );
+    write_json("table2", &records);
+}

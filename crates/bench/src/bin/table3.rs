@@ -1,0 +1,69 @@
+//! **Table III** — LTPG processing capability: throughput (10⁶ TXs/s) as
+//! batch size scales, per NewOrder percentage and warehouse count.
+//!
+//! Default grid: batch 2⁸..2¹⁴, warehouses {8, 32}. `--full`: batch
+//! 2⁸..2¹⁶, warehouses {8, 16, 32, 64}.
+
+use ltpg_bench::*;
+use ltpg_txn::TidGen;
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    batch: usize,
+    neworder_pct: u8,
+    warehouses: i64,
+    mtps: f64,
+    commit_rate: f64,
+}
+
+fn main() {
+    let full = full_scale();
+    let warehouses: &[i64] = if full { &[8, 16, 32, 64] } else { &[8, 32] };
+    let batch_exps: &[u32] = if full { &[8, 10, 12, 14, 16] } else { &[8, 10, 12, 14] };
+    let mixes: [u8; 3] = [50, 100, 0];
+
+    let mut records = Vec::new();
+    let mut header = vec!["Batch".to_string()];
+    for pct in mixes {
+        for w in warehouses {
+            header.push(format!("{pct}-{w}"));
+        }
+    }
+    let mut rows: Vec<Vec<String>> =
+        batch_exps.iter().map(|e| vec![format!("2^{e}")]).collect();
+
+    for pct in mixes {
+        for &w in warehouses {
+            let max_batch = 1usize << batch_exps.last().copied().unwrap_or(14);
+            let cfg = TpccConfig::new(w, pct).with_headroom(max_batch * 40);
+            let (db0, tables, _g) = TpccGenerator::new(cfg.clone());
+            eprintln!("[table3] config {pct}-{w}: database built");
+            for (row, &e) in rows.iter_mut().zip(batch_exps.iter()) {
+                let batch = 1usize << e;
+                let db = db0.deep_clone();
+                let mut engine = build_tpcc_engine(SystemKind::Ltpg, db, &tables, batch);
+                let mut gen = TpccGenerator::from_parts(cfg.clone(), tables);
+                let batches = (3usize << 14 >> e).clamp(2, 24);
+                let mut tids = TidGen::new();
+                let out =
+                    run_stream(&mut *engine, &mut |n| gen.gen_batch(n), &mut tids, batches, batch);
+                row.push(format!("{:.2}", out.mtps()));
+                records.push(Cell {
+                    batch,
+                    neworder_pct: pct,
+                    warehouses: w,
+                    mtps: out.mtps(),
+                    commit_rate: out.mean_commit_rate,
+                });
+            }
+        }
+    }
+    print_table(
+        "Table III — LTPG throughput vs batch size (10^6 TXs/s); columns are <NewOrder%>-<warehouses>",
+        &header,
+        &rows,
+    );
+    write_json("table3", &records);
+}

@@ -1,0 +1,67 @@
+//! **Table IV** — average per-batch latency and data-transmission latency
+//! (µs), LTPG vs GaccO, across warehouse count × batch size.
+//!
+//! Default grid: warehouses {8, 32} × batch {4096, 16384}. `--full`:
+//! warehouses {8, 64} × batch {8192, 65536} (the paper's cells).
+
+use ltpg_bench::*;
+use ltpg_txn::TidGen;
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    system: &'static str,
+    warehouses: i64,
+    batch: usize,
+    batch_latency_us: f64,
+    transmission_us: f64,
+}
+
+fn main() {
+    let full = full_scale();
+    let warehouses: &[i64] = if full { &[8, 64] } else { &[8, 32] };
+    let batches: &[usize] = if full { &[8_192, 65_536] } else { &[4_096, 16_384] };
+
+    let mut records = Vec::new();
+    let mut header = vec!["System".to_string()];
+    for w in warehouses {
+        for b in batches {
+            header.push(format!("{w}/{b}"));
+        }
+    }
+    let mut rows = vec![vec!["LTPG".to_string()], vec!["GaccO".to_string()]];
+
+    for &w in warehouses {
+        for &b in batches {
+            let cfg = TpccConfig::new(w, 50).with_headroom(b * 12);
+            let (db0, tables, _g) = TpccGenerator::new(cfg.clone());
+            eprintln!("[table4] {w}/{b}: database built");
+            for (row, kind) in rows.iter_mut().zip([SystemKind::Ltpg, SystemKind::Gacco]) {
+                let db = db0.deep_clone();
+                let mut engine = build_tpcc_engine(kind, db, &tables, b);
+                let mut gen = TpccGenerator::from_parts(cfg.clone(), tables);
+                let mut tids = TidGen::new();
+                let out = run_stream(&mut *engine, &mut |n| gen.gen_batch(n), &mut tids, 2, b);
+                row.push(format!(
+                    "{:.0}, {:.0}",
+                    out.mean_batch_ns / 1e3,
+                    out.mean_transfer_ns / 1e3
+                ));
+                records.push(Cell {
+                    system: kind.name(),
+                    warehouses: w,
+                    batch: b,
+                    batch_latency_us: out.mean_batch_ns / 1e3,
+                    transmission_us: out.mean_transfer_ns / 1e3,
+                });
+            }
+        }
+    }
+    print_table(
+        "Table IV — per-batch latency, transmission latency (us); columns are <warehouses>/<batch>",
+        &header,
+        &rows,
+    );
+    write_json("table4", &records);
+}

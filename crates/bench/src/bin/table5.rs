@@ -1,0 +1,63 @@
+//! **Table V** — overhead of shipping the transaction read/write-sets back
+//! to the host (the paper's recommended `RwSet` synchronization mode), per
+//! batch size {1024, 16384, 65536}.
+//!
+//! Reports the min–max simulated D2H time over several batches of each
+//! size, as the paper reports a range.
+
+use ltpg::{LtpgConfig, LtpgEngine, OptFlags};
+use ltpg_bench::*;
+use ltpg_txn::{Batch, TidGen};
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    batch: usize,
+    d2h_min_us: f64,
+    d2h_max_us: f64,
+    bytes_min: u64,
+    bytes_max: u64,
+}
+
+fn main() {
+    let sizes: &[usize] = &[1_024, 16_384, 65_536];
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &b in sizes {
+        let cfg = TpccConfig::new(8, 50).with_headroom(b * 12);
+        let (db, tables, mut gen) = TpccGenerator::new(cfg.clone());
+        let mut engine =
+            LtpgEngine::new(db, ltpg_tpcc_config(&tables, b, OptFlags::all()));
+        let mut tids = TidGen::new();
+        let (mut lo, mut hi) = (f64::MAX, 0.0f64);
+        let (mut blo, mut bhi) = (u64::MAX, 0u64);
+        for _ in 0..3 {
+            let batch = Batch::assemble(vec![], gen.gen_batch(b), &mut tids);
+            let rws = engine.execute_batch_report(&batch);
+            lo = lo.min(rws.stats.d2h_ns);
+            hi = hi.max(rws.stats.d2h_ns);
+            blo = blo.min(rws.stats.bytes_d2h);
+            bhi = bhi.max(rws.stats.bytes_d2h);
+        }
+        rows.push(vec![
+            b.to_string(),
+            format!("{:.0}-{:.0}", lo / 1e3, hi / 1e3),
+            format!("{:.1}-{:.1}", blo as f64 / 1e6, bhi as f64 / 1e6),
+        ]);
+        records.push(Cell {
+            batch: b,
+            d2h_min_us: lo / 1e3,
+            d2h_max_us: hi / 1e3,
+            bytes_min: blo,
+            bytes_max: bhi,
+        });
+    }
+    print_table(
+        "Table V — read/write-set copy overhead",
+        &["batch (txns)".to_string(), "time cost (us)".to_string(), "volume (MB)".to_string()],
+        &rows,
+    );
+    write_json("table5", &records);
+    let _ = LtpgConfig::default();
+}

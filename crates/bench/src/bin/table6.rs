@@ -1,0 +1,88 @@
+//! **Table VI** — committed transactions and commit rate (total, NewOrder,
+//! Payment) with and without the high-contention optimization suite
+//! (logical reordering + conflict-flag splitting + delayed update), on a
+//! 50/50 mix. Grid: warehouses {32, 8} × batch {16384, 4096}, as in the
+//! paper; one fresh batch per cell (the paper reports per-batch numbers).
+
+use ltpg::{LtpgEngine, OptFlags};
+use ltpg_bench::*;
+use ltpg_txn::{Batch, TidGen};
+use ltpg_workloads::tpcc::{PROC_NEWORDER, PROC_PAYMENT};
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    warehouses: i64,
+    batch: usize,
+    optimized: bool,
+    committed_total: usize,
+    committed_neworder: usize,
+    committed_payment: usize,
+    rate_total: f64,
+    rate_neworder: f64,
+    rate_payment: f64,
+}
+
+fn main() {
+    let grid: &[(i64, usize)] = &[(32, 16_384), (32, 4_096), (8, 16_384), (8, 4_096)];
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &(w, b) in grid {
+        for optimized in [true, false] {
+            let cfg = TpccConfig::new(w, 50).with_headroom(b * 4);
+            let (db, tables, mut gen) = TpccGenerator::new(cfg.clone());
+            let opts = OptFlags::all().with_contention_suite(optimized);
+            let mut engine = LtpgEngine::new(db, ltpg_tpcc_config(&tables, b, opts));
+            let mut tids = TidGen::new();
+            let batch = Batch::assemble(vec![], gen.gen_batch(b), &mut tids);
+            let report = engine.execute_batch_report(&batch).report;
+            let (mut no_total, mut pay_total, mut no_ok, mut pay_ok) = (0usize, 0usize, 0usize, 0usize);
+            for txn in &batch.txns {
+                if txn.proc == PROC_NEWORDER {
+                    no_total += 1;
+                } else {
+                    pay_total += 1;
+                }
+            }
+            for tid in &report.committed {
+                let txn = batch.by_tid(*tid).expect("committed tid");
+                if txn.proc == PROC_NEWORDER {
+                    no_ok += 1;
+                } else if txn.proc == PROC_PAYMENT {
+                    pay_ok += 1;
+                }
+            }
+            let total_ok = report.committed.len();
+            let pct = |a: usize, b: usize| if b == 0 { 0.0 } else { 100.0 * a as f64 / b as f64 };
+            rows.push(vec![
+                format!("{w}/{b}"),
+                if optimized { "yes" } else { "no" }.to_string(),
+                format!("{total_ok}, {no_ok}, {pay_ok}"),
+                format!("{:.1}, {:.1}, {:.2}", pct(total_ok, b), pct(no_ok, no_total), pct(pay_ok, pay_total)),
+            ]);
+            records.push(Cell {
+                warehouses: w,
+                batch: b,
+                optimized,
+                committed_total: total_ok,
+                committed_neworder: no_ok,
+                committed_payment: pay_ok,
+                rate_total: pct(total_ok, b),
+                rate_neworder: pct(no_ok, no_total),
+                rate_payment: pct(pay_ok, pay_total),
+            });
+        }
+    }
+    print_table(
+        "Table VI — commit transactions (total, NewOrder, Payment) and commit rate (%) with/without high-contention optimization",
+        &[
+            "scale/batch".to_string(),
+            "optimized".to_string(),
+            "commit txns".to_string(),
+            "commit rate %".to_string(),
+        ],
+        &rows,
+    );
+    write_json("table6", &records);
+}

@@ -1,0 +1,29 @@
+//! Calibration probe: quick per-system throughput/latency readout used to
+//! tune the cost models against the paper's magnitudes (see the
+//! calibration narrative in EXPERIMENTS.md). Not one of the paper's
+//! tables — kept as a development tool.
+
+use ltpg_bench::*;
+use ltpg_txn::TidGen;
+use ltpg_workloads::{TpccConfig, TpccGenerator};
+use std::time::Instant;
+
+fn main() {
+    let kinds = [SystemKind::Gacco, SystemKind::Gputx, SystemKind::Dbx1000, SystemKind::Bamboo,
+                 SystemKind::Aria, SystemKind::Calvin, SystemKind::Bohm, SystemKind::Pwv];
+    for pct in [50u8, 0u8] {
+        let cfg = TpccConfig::new(8, pct).with_headroom(1 << 17);
+        let (db0, tables, _g) = TpccGenerator::new(cfg.clone());
+        for kind in kinds {
+            let t0 = Instant::now();
+            let db = db0.deep_clone();
+            let mut engine = build_tpcc_engine(kind, db, &tables, 16384);
+            let mut gen = TpccGenerator::from_parts(cfg.clone(), tables);
+            let bs = kind.preferred_batch(16384);
+            let batches = (2 * 16384 / bs).clamp(2, 16);
+            let out = run_stream(&mut *engine, &mut |n| gen.gen_batch(n), &mut TidGen::new(), batches, bs);
+            println!("{:>8} pct={pct}: mTPS {:>8.2}  commit {:.2}  batch_lat {:>8.0}us  wall {:?}",
+                kind.name(), out.mtps(), out.mean_commit_rate, out.mean_batch_ns/1e3, t0.elapsed());
+        }
+    }
+}

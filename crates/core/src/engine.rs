@@ -1,0 +1,986 @@
+//! The LTPG engine: three-phase deterministic optimistic concurrency
+//! control on the simulated device (paper §IV, Algorithm 1).
+//!
+//! Each batch runs as three kernels separated by device barriers:
+//!
+//! * **execute** — one lane per transaction (warps typed by procedure when
+//!   adaptive warp division is on). The lane runs the transaction
+//!   speculatively against the device-resident snapshot, stores its local
+//!   read/write sets, and registers its TID in the conflict log.
+//!   Commutative hot-column adds are staged for delayed update instead of
+//!   being registered.
+//! * **conflict_d** — one lane per recorded access (read-check and
+//!   write-check lanes in separate warp groups, per Algorithm 1's
+//!   rcheck/wcheck split). Write accesses flag WAW (an earlier writer
+//!   exists) and WAR (an earlier reader exists); read accesses flag RAW.
+//! * **writeback** — one lane per transaction. The deterministic commit
+//!   rule is `¬WAW ∧ ¬RAW` (plain) or `¬WAW ∧ (¬RAW ∨ ¬WAR)` with logical
+//!   reordering. Committed lanes apply their buffered mutations to the
+//!   snapshot; a final merge kernel folds the committed delayed adds.
+//!
+//! All conflict decisions derive from `atomicMin`-maintained minimum TIDs,
+//! so the committed set is a pure function of (snapshot, batch, TIDs) —
+//! deterministic regardless of device scheduling.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ltpg_gpu_sim::{Device, SimAtomicU32};
+use ltpg_storage::{membership_partition, ColId, Database, TableError, TableId, MEMBERSHIP_PARTITION_SHIFT};
+use ltpg_txn::exec::{execute_speculative, Mutation, TxnEffects};
+use ltpg_txn::group::{arrival_order, order_by_proc};
+use ltpg_txn::{Batch, BatchEngine, BatchReport};
+
+use crate::config::{LtpgConfig, SyncMode};
+use crate::conflict::ConflictLog;
+use crate::stats::{LtpgBatchStats, ReportWithStats};
+use crate::util::SlotVec;
+
+/// Encode a `(row key, column)` pair into a single conflict-log key.
+/// Column code 0 is the row-existence pseudo-cell (insert/delete/missing-
+/// key probes); column `c` maps to `c + 1`. LTPG's conflict flags are
+/// **cell-granular**: reads of one attribute never conflict with writes of
+/// another — the behaviour the paper's Table VI baseline exhibits (its
+/// unoptimized NewOrder rate is unaffected by Payment's `W_YTD` writes on
+/// the same warehouse rows).
+#[inline]
+fn cell_key(key: i64, col: Option<ltpg_storage::ColId>) -> i64 {
+    key.wrapping_mul(64).wrapping_add(col.map_or(0, |c| i64::from(c.0) + 1))
+}
+
+/// Conflict-flag bits per transaction.
+mod flag {
+    pub const WAW: u32 = 1 << 0;
+    pub const RAW: u32 = 1 << 1;
+    pub const WAR: u32 = 1 << 2;
+    /// User/logic abort during speculation (e.g. duplicate insert).
+    pub const USER: u32 = 1 << 3;
+    /// Forced abort: the transaction read or overwrote a column that the
+    /// configuration maintains commutatively (sound fallback).
+    pub const FORCED: u32 = 1 << 4;
+}
+
+/// Outcome of one transaction's execute phase.
+struct ExecOutcome {
+    /// Non-commutative buffered mutations, in program order.
+    normal: Vec<Mutation>,
+    /// Staged commutative deltas: `(table, col, key, delta)`.
+    delayed: Vec<(TableId, ColId, i64, i64)>,
+    /// Recorded reads (for conflict detection and R/W-set shipping).
+    effects: TxnEffects,
+}
+
+/// One conflict-detection work item.
+struct DetectItem {
+    txn: u32,
+    table: TableId,
+    col: Option<ColId>,
+    key: i64,
+    is_write: bool,
+    /// Membership-marker writes (inserts/deletes) commute with each other:
+    /// they check WAR (a scanner saw the old membership) but not WAW.
+    check_waw: bool,
+    /// `Some(partition)` routes this item to the table's membership log.
+    membership: Option<i64>,
+}
+
+/// The LTPG engine. Owns its database (the device-resident snapshot) and
+/// a simulated device.
+pub struct LtpgEngine {
+    db: Database,
+    cfg: LtpgConfig,
+    device: Arc<Device>,
+    log: ConflictLog,
+    /// Tables containing at least one commutatively-maintained column —
+    /// deletes against them are force-aborted for soundness.
+    commutative_tables: HashSet<TableId>,
+}
+
+impl LtpgEngine {
+    /// Create an engine over `db` with `cfg`.
+    pub fn new(db: Database, cfg: LtpgConfig) -> Self {
+        let device = Arc::new(Device::new(cfg.device.clone()));
+        let log = ConflictLog::new(&db, &cfg);
+        device.register_allocation(db.bytes() + log.bytes());
+        let commutative_tables = cfg
+            .commutative_cols
+            .iter()
+            .chain(cfg.delayed_cols.iter())
+            .map(|&(t, _)| t)
+            .collect();
+        LtpgEngine { db, cfg, device, log, commutative_tables }
+    }
+
+    /// The simulated device (for stats and calibration experiments).
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &LtpgConfig {
+        &self.cfg
+    }
+
+    /// The conflict log (memory occupancy reporting, Table VIII).
+    pub fn conflict_log(&self) -> &ConflictLog {
+        &self.log
+    }
+
+    /// Consume the engine, returning the final database.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Execute one batch and return the report with the full phase
+    /// breakdown.
+    pub fn execute_batch_report(&mut self, batch: &Batch) -> ReportWithStats {
+        let wall_start = Instant::now();
+        let mut stats = LtpgBatchStats::default();
+        let n = batch.len();
+        self.log.begin_batch();
+
+        // ---- Upload: transaction parameters to the device. ----
+        stats.bytes_h2d = batch.payload_bytes();
+        stats.h2d_ns = self.device.h2d(stats.bytes_h2d);
+
+        // ---- Phase 1: execute. ----
+        let lane_order = if self.cfg.opts.warp_division {
+            order_by_proc(batch)
+        } else {
+            arrival_order(batch)
+        };
+        let outcomes: SlotVec<ExecOutcome> = SlotVec::new(n);
+        let flags: Vec<SimAtomicU32> = (0..n).map(|_| SimAtomicU32::new(0)).collect();
+
+        let lane_proc_overhead = self.device.cost().proc_overhead_cycles;
+        let exec_report = self.device.launch("execute", &lane_order, |lane, &idx| {
+            let txn = &batch.txns[idx];
+            lane.branch(u32::from(txn.proc.0));
+            lane.charge_alu(txn.ops.len() as u32);
+            lane.charge_cycles(lane_proc_overhead);
+            match execute_speculative(&self.db, txn) {
+                Err(_) => {
+                    lane.atomic_or_u32(&flags[idx], flag::USER);
+                    outcomes.set(idx, ExecOutcome {
+                        normal: Vec::new(),
+                        delayed: Vec::new(),
+                        effects: TxnEffects { tid: txn.tid, ..TxnEffects::default() },
+                    });
+                }
+                Ok(fx) => {
+                    let tid = txn.tid.0;
+                    let mut forced = false;
+                    let mut normal = Vec::with_capacity(fx.mutations.len());
+                    let mut delayed = Vec::new();
+                    for m in &fx.mutations {
+                        match m {
+                            Mutation::Add { table, key, col, delta }
+                                if self.cfg.is_commutative(*table, *col) =>
+                            {
+                                // Staged for the delayed-update merge.
+                                lane.write_global(1);
+                                delayed.push((*table, *col, *key, *delta));
+                            }
+                            Mutation::Update { table, col, .. }
+                                if self.cfg.is_commutative(*table, *col) =>
+                            {
+                                // A plain overwrite of a commutative column
+                                // cannot be merged — abort for soundness.
+                                forced = true;
+                            }
+                            Mutation::Delete { table, .. }
+                                if self.commutative_tables.contains(table) =>
+                            {
+                                forced = true;
+                            }
+                            other => normal.push(other.clone()),
+                        }
+                    }
+                    // Reading a commutatively-maintained column would
+                    // observe a value that delayed merging later changes;
+                    // force-abort the reader (sound fallback).
+                    for r in &fx.reads {
+                        if let Some(c) = r.col {
+                            if self.cfg.is_commutative(r.table, c) {
+                                forced = true;
+                            }
+                        }
+                    }
+                    if forced {
+                        lane.atomic_or_u32(&flags[idx], flag::FORCED);
+                        outcomes.set(idx, ExecOutcome {
+                            normal: Vec::new(),
+                            delayed: Vec::new(),
+                            effects: fx,
+                        });
+                        return;
+                    }
+                    // Register TIDs in the conflict log (recordTID), and
+                    // charge the local-set writes (recordLS) and snapshot
+                    // reads (readMem). A `false` return means the log ran
+                    // out of buckets — force-abort this transaction (the
+                    // TIDs already registered only ever *add* conflicts,
+                    // so partial registration is sound).
+                    let mut registered = true;
+                    for r in &fx.reads {
+                        lane.read_global_random(2);
+                        lane.write_global(1);
+                        registered &= if let Some(p) = membership_partition(r.key) {
+                            self.log.register_membership_read(lane, r.table, p, tid)
+                        } else {
+                            self.log.register_read(lane, r.table, r.col, cell_key(r.key, r.col), tid)
+                        };
+                    }
+                    for m in &normal {
+                        lane.write_global(2);
+                        match m {
+                            Mutation::Update { table, key, col, .. } => {
+                                registered &= self.log.register_write(
+                                    lane, *table, Some(*col), cell_key(*key, Some(*col)), tid,
+                                );
+                            }
+                            Mutation::Add { table, key, col, .. } => {
+                                // Non-commutative RMW: reader and writer.
+                                let ck = cell_key(*key, Some(*col));
+                                registered &= self.log.register_read(lane, *table, Some(*col), ck, tid);
+                                registered &= self.log.register_write(lane, *table, Some(*col), ck, tid);
+                            }
+                            Mutation::Insert { table, key, .. } => {
+                                registered &=
+                                    self.log.register_write(lane, *table, None, cell_key(*key, None), tid);
+                                // Membership changed: ordered scanners of
+                                // this key partition must see it (phantom
+                                // guard).
+                                registered &= self.log.register_membership_write(
+                                    lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
+                                );
+                            }
+                            Mutation::Delete { table, key } => {
+                                // A delete writes the existence cell and
+                                // every column cell (readers of any cell
+                                // must order before it).
+                                registered &=
+                                    self.log.register_write(lane, *table, None, cell_key(*key, None), tid);
+                                registered &= self.log.register_membership_write(
+                                    lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
+                                );
+                                for c in 0..self.db.table(*table).width() as u16 {
+                                    let col = ColId(c);
+                                    registered &= self.log.register_write(
+                                        lane, *table, Some(col), cell_key(*key, Some(col)), tid,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if !registered {
+                        lane.atomic_or_u32(&flags[idx], flag::FORCED);
+                    }
+                    outcomes.set(idx, ExecOutcome { normal, delayed, effects: fx });
+                }
+            }
+        });
+        stats.execute_ns = exec_report.sim_ns;
+        self.device.synchronize();
+        stats.sync_ns += self.device.cost().device_sync_ns;
+
+        // ---- Phase 2: conflict detection. ----
+        let outcomes = outcomes.into_inner();
+        let mut items: Vec<DetectItem> = Vec::new();
+        for (idx, out) in outcomes.iter().enumerate() {
+            let Some(out) = out else { continue };
+            if flags[idx].load() & (flag::USER | flag::FORCED) != 0 {
+                continue;
+            }
+            for r in &out.effects.reads {
+                items.push(DetectItem {
+                    txn: idx as u32,
+                    table: r.table,
+                    col: r.col,
+                    key: cell_key(r.key, r.col),
+                    is_write: false,
+                    check_waw: false,
+                    membership: membership_partition(r.key),
+                });
+            }
+            for m in &out.normal {
+                match m {
+                    Mutation::Update { table, key, col, .. }
+                    | Mutation::Add { table, key, col, .. } => items.push(DetectItem {
+                        txn: idx as u32,
+                        table: *table,
+                        col: Some(*col),
+                        key: cell_key(*key, Some(*col)),
+                        is_write: true,
+                        check_waw: true,
+                        membership: None,
+                    }),
+                    Mutation::Insert { table, key, .. } => {
+                        items.push(DetectItem {
+                            txn: idx as u32,
+                            table: *table,
+                            col: None,
+                            key: cell_key(*key, None),
+                            is_write: true,
+                            check_waw: true,
+                        membership: None,
+                        });
+                        items.push(DetectItem {
+                            txn: idx as u32,
+                            table: *table,
+                            col: None,
+                            key: 0,
+                            is_write: true,
+                            check_waw: false,
+                            membership: Some(*key >> MEMBERSHIP_PARTITION_SHIFT),
+                        });
+                    }
+                    Mutation::Delete { table, key } => {
+                        items.push(DetectItem {
+                            txn: idx as u32,
+                            table: *table,
+                            col: None,
+                            key: cell_key(*key, None),
+                            is_write: true,
+                            check_waw: true,
+                        membership: None,
+                        });
+                        items.push(DetectItem {
+                            txn: idx as u32,
+                            table: *table,
+                            col: None,
+                            key: 0,
+                            is_write: true,
+                            check_waw: false,
+                            membership: Some(*key >> MEMBERSHIP_PARTITION_SHIFT),
+                        });
+                        for c in 0..self.db.table(*table).width() as u16 {
+                            items.push(DetectItem {
+                                txn: idx as u32,
+                                table: *table,
+                                col: Some(ColId(c)),
+                                key: cell_key(*key, Some(ColId(c))),
+                                is_write: true,
+                                check_waw: true,
+                        membership: None,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if self.cfg.opts.warp_division {
+            // rcheck warps and wcheck warps (Algorithm 1 lines 13–16).
+            items.sort_by_key(|i| i.is_write);
+        }
+        let detect_report = self.device.launch("conflict_d", &items, |lane, item| {
+            lane.branch(u32::from(item.is_write));
+            let tid = batch.txns[item.txn as usize].tid.0;
+            let min_w = |lane: &mut _| match item.membership {
+                Some(p) => self.log.min_membership_write(lane, item.table, p),
+                None => self.log.min_write(lane, item.table, item.col, item.key),
+            };
+            let min_r = |lane: &mut _| match item.membership {
+                Some(p) => self.log.min_membership_read(lane, item.table, p),
+                None => self.log.min_read(lane, item.table, item.col, item.key),
+            };
+            if item.is_write {
+                if item.check_waw && min_w(lane).is_some_and(|m| m < tid) {
+                    lane.atomic_or_u32(&flags[item.txn as usize], flag::WAW);
+                }
+                if min_r(lane).is_some_and(|m| m < tid) {
+                    lane.atomic_or_u32(&flags[item.txn as usize], flag::WAR);
+                }
+            } else if min_w(lane).is_some_and(|m| m < tid) {
+                lane.atomic_or_u32(&flags[item.txn as usize], flag::RAW);
+            }
+        });
+        stats.detect_ns = detect_report.sim_ns;
+        self.device.synchronize();
+        stats.sync_ns += self.device.cost().device_sync_ns;
+
+        // ---- Phase 3: write-back. ----
+        let commit_ok = |f: u32| -> bool {
+            if f & (flag::USER | flag::FORCED | flag::WAW) != 0 {
+                return false;
+            }
+            if self.cfg.opts.logical_reordering {
+                // Aria's reordering rule: ¬RAW ∨ ¬WAR.
+                f & flag::RAW == 0 || f & flag::WAR == 0
+            } else {
+                f & flag::RAW == 0
+            }
+        };
+        let wb_report = self.device.launch("writeback", &lane_order, |lane, &idx| {
+            let txn = &batch.txns[idx];
+            lane.branch(u32::from(txn.proc.0));
+            let f = flags[idx].load();
+            if !commit_ok(f) {
+                return;
+            }
+            let Some(out) = &outcomes[idx] else { return };
+            for m in &out.normal {
+                match m {
+                    Mutation::Update { table, key, col, value } => {
+                        // Row ids were resolved during execute and carried
+                        // in the local set; write-back only stores.
+                        let t = self.db.table(*table);
+                        lane.write_global_random(1);
+                        if let Some(rid) = t.lookup(*key) {
+                            t.set(rid, *col, *value);
+                        }
+                    }
+                    Mutation::Add { table, key, col, delta } => {
+                        let t = self.db.table(*table);
+                        lane.write_global_random(1);
+                        if let Some(rid) = t.lookup(*key) {
+                            t.add(rid, *col, *delta);
+                        }
+                    }
+                    Mutation::Insert { table, key, values } => {
+                        lane.write_global_random(values.len() as u32 + 1);
+                        match self.db.table(*table).insert(*key, values) {
+                            Ok(_) => {}
+                            Err(TableError::Duplicate(_)) => unreachable!(
+                                "committed duplicate insert: WAW detection failed for key {key}"
+                            ),
+                            Err(TableError::Full) => panic!(
+                                "table {} out of insert headroom",
+                                self.db.table(*table).schema().name
+                            ),
+                        }
+                    }
+                    Mutation::Delete { table, key } => {
+                        lane.write_global(1);
+                        self.db.table(*table).delete(*key);
+                    }
+                }
+            }
+        });
+        stats.writeback_ns = wb_report.sim_ns;
+
+        // ---- Delayed-update merge (paper Example 3). ----
+        let committed_flags: Vec<bool> = (0..n).map(|i| commit_ok(flags[i].load())).collect();
+        let mut merge_map: std::collections::HashMap<(TableId, ColId, i64), (i64, u32)> =
+            std::collections::HashMap::new();
+        for (idx, out) in outcomes.iter().enumerate() {
+            if !committed_flags[idx] {
+                continue;
+            }
+            let Some(out) = out else { continue };
+            for &(t, c, k, d) in &out.delayed {
+                stats.delayed_ops_applied += 1;
+                let e = merge_map.entry((t, c, k)).or_insert((0, 0));
+                e.0 = e.0.wrapping_add(d);
+                e.1 += 1;
+            }
+        }
+        let mut merged: Vec<((TableId, ColId, i64), i64, u32)> =
+            merge_map.into_iter().map(|(cell, (sum, cnt))| (cell, sum, cnt)).collect();
+        merged.sort_unstable_by_key(|(cell, ..)| *cell);
+        if !merged.is_empty() {
+            // One lane per delayed *op* (grouped by cell into warps, as the
+            // paper's Example 3 assigns same-row ops to one warp); the
+            // cell's last lane writes the merged result.
+            let mut op_items: Vec<(usize, bool)> = Vec::new(); // (cell idx, is_last)
+            for (ci, (_, _, cnt)) in merged.iter().enumerate() {
+                for j in 0..*cnt {
+                    op_items.push((ci, j + 1 == *cnt));
+                }
+            }
+            let merge_report = self.device.launch("delayed_merge", &op_items, |lane, &(ci, is_last)| {
+                let ((t, c, k), sum, cnt) = &merged[ci];
+                // Intra-warp broadcast/merge: log2 steps over the ops that
+                // folded into this cell.
+                lane.warp_shuffle(32 - (cnt.max(&1)).leading_zeros());
+                lane.read_global(1);
+                if is_last {
+                    lane.read_global_random(1);
+                    lane.write_global(1);
+                    let table = self.db.table(*t);
+                    if let Some(rid) = table.lookup(*k) {
+                        table.add(rid, *c, *sum);
+                    }
+                }
+            });
+            stats.writeback_ns += merge_report.sim_ns;
+        }
+        self.device.synchronize();
+        stats.sync_ns += self.device.cost().device_sync_ns;
+
+        // ---- Download: results / read-write sets to the host. ----
+        stats.bytes_d2h = match self.cfg.sync {
+            SyncMode::RwSet => {
+                n as u64
+                    + outcomes
+                        .iter()
+                        .flatten()
+                        .map(|o| o.effects.rw_set_bytes())
+                        .sum::<u64>()
+            }
+            SyncMode::Interval { bytes_per_batch } => n as u64 + bytes_per_batch,
+        };
+        stats.d2h_ns = self.device.d2h(stats.bytes_d2h);
+
+        // ---- Counters and report assembly. ----
+        stats.atomic_ops = exec_report.atomic_ops + detect_report.atomic_ops;
+        stats.atomic_serial_depth = exec_report.atomic_serial_depth + detect_report.atomic_serial_depth;
+        stats.divergent_warps =
+            exec_report.divergent_warps + detect_report.divergent_warps + wb_report.divergent_warps;
+        stats.page_faults = exec_report.page_faults + detect_report.page_faults + wb_report.page_faults;
+        stats.delayed_read_aborts =
+            (0..n).filter(|&i| flags[i].load() & flag::FORCED != 0).count() as u64;
+
+        let mut committed = Vec::new();
+        let mut aborted = Vec::new();
+        for (i, txn) in batch.txns.iter().enumerate() {
+            if committed_flags[i] {
+                committed.push(txn.tid);
+            } else {
+                aborted.push(txn.tid);
+            }
+        }
+        let report = BatchReport {
+            committed,
+            aborted,
+            sim_ns: stats.total_ns(),
+            transfer_ns: stats.transfer_ns(),
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
+            semantics: ltpg_txn::engine::CommitSemantics::SnapshotBatch,
+        };
+        ReportWithStats { report, stats }
+    }
+}
+
+impl BatchEngine for LtpgEngine {
+    fn name(&self) -> &'static str {
+        "LTPG"
+    }
+
+    fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn execute_batch(&mut self, batch: &Batch) -> BatchReport {
+        self.execute_batch_report(batch).report
+    }
+}
+
+impl std::fmt::Debug for LtpgEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LtpgEngine").field("tables", &self.db.table_count()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OptFlags;
+    use ltpg_storage::TableBuilder;
+    use ltpg_txn::oracle::check_snapshot_serializable;
+    use ltpg_txn::{IrOp, ProcId, Src, Tid, TidGen, Txn};
+
+    fn small_db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableBuilder::new("T").columns(["a", "b"]).capacity(256).build());
+        for k in 0..100 {
+            db.table(t).insert(k, &[k, 0]).unwrap();
+        }
+        (db, t)
+    }
+
+    fn read(t: TableId, k: i64, out: u8) -> IrOp {
+        IrOp::Read { table: t, key: Src::Const(k), col: ColId(0), out }
+    }
+    fn write(t: TableId, k: i64, v: i64) -> IrOp {
+        IrOp::Update { table: t, key: Src::Const(k), col: ColId(0), val: Src::Const(v) }
+    }
+    fn add(t: TableId, k: i64, d: i64) -> IrOp {
+        IrOp::Add { table: t, key: Src::Const(k), col: ColId(1), delta: Src::Const(d) }
+    }
+
+    fn run(db: Database, cfg: LtpgConfig, txns: Vec<Txn>) -> (LtpgEngine, Batch, BatchReport, Database) {
+        let pre = db.deep_clone();
+        let mut engine = LtpgEngine::new(db, cfg);
+        let mut gen = TidGen::new();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let report = engine.execute_batch(&batch);
+        (engine, batch, report, pre)
+    }
+
+    fn assert_serializable(engine: &LtpgEngine, batch: &Batch, report: &BatchReport, pre: &Database) {
+        let committed: Vec<&Txn> =
+            report.committed.iter().map(|t| batch.by_tid(*t).unwrap()).collect();
+        check_snapshot_serializable(pre, &committed, engine.database()).expect("serializable");
+    }
+
+    #[test]
+    fn disjoint_batch_commits_fully() {
+        let (db, t) = small_db();
+        let txns = (0..50).map(|k| Txn::new(ProcId(0), vec![], vec![write(t, k, k + 1000)])).collect();
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), txns);
+        assert_eq!(report.committed.len(), 50);
+        assert!(report.aborted.is_empty());
+        assert_serializable(&engine, &batch, &report, &pre);
+        let rid = engine.database().table(t).lookup(7).unwrap();
+        assert_eq!(engine.database().table(t).get(rid, ColId(0)), 1007);
+    }
+
+    #[test]
+    fn waw_admits_exactly_the_min_tid_writer() {
+        let (db, t) = small_db();
+        let txns: Vec<Txn> =
+            (0..10).map(|i| Txn::new(ProcId(0), vec![], vec![write(t, 5, 100 + i)])).collect();
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), txns);
+        assert_eq!(report.committed, vec![Tid(1)]);
+        assert_eq!(report.aborted.len(), 9);
+        assert_serializable(&engine, &batch, &report, &pre);
+        let rid = engine.database().table(t).lookup(5).unwrap();
+        assert_eq!(engine.database().table(t).get(rid, ColId(0)), 100);
+    }
+
+    #[test]
+    fn logical_reordering_commits_war_only_transactions() {
+        let (db, t) = small_db();
+        // tid1 reads k9 (written by tid2): tid1 has no RAW (writer is
+        // later), tid2 has WAR (reader is earlier) but no RAW/WAW.
+        let txns = vec![
+            Txn::new(ProcId(0), vec![], vec![read(t, 9, 0), write(t, 1, 11)]),
+            Txn::new(ProcId(0), vec![], vec![write(t, 9, 99)]),
+        ];
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), txns);
+        assert_eq!(report.committed.len(), 2, "reordering must commit both");
+        assert_serializable(&engine, &batch, &report, &pre);
+
+        // Without reordering, the WAR writer... still commits (WAR alone
+        // does not abort in plain Aria either; RAW is what kills). Check a
+        // genuine RAW case instead: reader AFTER writer.
+        let (db2, t2) = small_db();
+        let txns2 = vec![
+            Txn::new(ProcId(0), vec![], vec![write(t2, 9, 99)]),
+            Txn::new(ProcId(0), vec![], vec![read(t2, 9, 0), write(t2, 1, 11)]),
+        ];
+        let cfg = LtpgConfig::with_opts(OptFlags { logical_reordering: false, ..OptFlags::all() });
+        let (engine2, batch2, report2, pre2) = run(db2, cfg, txns2);
+        // tid2 reads what tid1 wrote: RAW → abort without reordering.
+        assert_eq!(report2.committed, vec![Tid(1)]);
+        assert_serializable(&engine2, &batch2, &report2, &pre2);
+    }
+
+    #[test]
+    fn reordering_still_aborts_raw_and_war_combination() {
+        let (db, t) = small_db();
+        // tid1 writes k3 and reads k4; tid2 reads k3 (RAW vs tid1) and
+        // writes k4 (WAR vs tid1) → tid2 must abort even with reordering.
+        let txns = vec![
+            Txn::new(ProcId(0), vec![], vec![write(t, 3, 30), read(t, 4, 0)]),
+            Txn::new(ProcId(0), vec![], vec![read(t, 3, 0), write(t, 4, 40)]),
+        ];
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), txns);
+        assert_eq!(report.committed, vec![Tid(1)]);
+        assert_eq!(report.aborted, vec![Tid(2)]);
+        assert_serializable(&engine, &batch, &report, &pre);
+    }
+
+    #[test]
+    fn commutative_adds_all_commit_with_delayed_update() {
+        let (db, t) = small_db();
+        let mut cfg = LtpgConfig::default();
+        cfg.delayed_cols.insert((t, ColId(1)));
+        let txns: Vec<Txn> =
+            (0..32).map(|i| Txn::new(ProcId(0), vec![], vec![add(t, 7, i + 1)])).collect();
+        let (engine, batch, report, pre) = run(db, cfg, txns);
+        assert_eq!(report.committed.len(), 32, "delayed update must commit all adders");
+        assert_serializable(&engine, &batch, &report, &pre);
+        let rid = engine.database().table(t).lookup(7).unwrap();
+        assert_eq!(engine.database().table(t).get(rid, ColId(1)), (1..=32).sum::<i64>());
+    }
+
+    #[test]
+    fn without_delayed_update_adds_conflict_as_rmw() {
+        let (db, t) = small_db();
+        let mut cfg = LtpgConfig::default();
+        cfg.delayed_cols.insert((t, ColId(1)));
+        cfg.opts.delayed_update = false;
+        let txns: Vec<Txn> =
+            (0..10).map(|i| Txn::new(ProcId(0), vec![], vec![add(t, 7, i + 1)])).collect();
+        let (engine, batch, report, pre) = run(db, cfg, txns);
+        assert_eq!(report.committed.len(), 1, "RMW adds must WAW-conflict");
+        assert_serializable(&engine, &batch, &report, &pre);
+    }
+
+    #[test]
+    fn reader_of_commutative_column_is_force_aborted() {
+        let (db, t) = small_db();
+        let mut cfg = LtpgConfig::default();
+        cfg.delayed_cols.insert((t, ColId(1)));
+        let reader = Txn::new(
+            ProcId(0),
+            vec![],
+            vec![IrOp::Read { table: t, key: Src::Const(7), col: ColId(1), out: 0 }],
+        );
+        let adder = Txn::new(ProcId(0), vec![], vec![add(t, 7, 5)]);
+        let (engine, batch, report, pre) = run(db, cfg, vec![reader, adder]);
+        assert_eq!(report.committed, vec![Tid(2)], "adder commits, reader force-aborts");
+        assert_serializable(&engine, &batch, &report, &pre);
+    }
+
+    #[test]
+    fn cell_granularity_decouples_columns_of_one_row() {
+        // Writer of column 0 vs writer of column 1 on the same row: LTPG's
+        // conflict flags are cell-granular, so both commit — with or
+        // without the dedicated split log for column 1 (splitting is a
+        // contention/routing optimization, not a semantic one).
+        let build = |split: bool| {
+            let (db, t) = small_db();
+            let mut cfg = LtpgConfig::default();
+            cfg.opts.logical_reordering = false;
+            cfg.opts.delayed_update = false;
+            cfg.opts.conflict_splitting = split;
+            cfg.delayed_cols.insert((t, ColId(1)));
+            let txns = vec![
+                Txn::new(ProcId(0), vec![], vec![write(t, 5, 50)]), // col 0 writer
+                Txn::new(
+                    ProcId(0),
+                    vec![],
+                    vec![IrOp::Update { table: t, key: Src::Const(5), col: ColId(1), val: Src::Const(9) }],
+                ),
+            ];
+            run(db, cfg, txns)
+        };
+        for split in [true, false] {
+            let (engine, batch, report, pre) = build(split);
+            assert_eq!(report.committed.len(), 2, "distinct cells must not conflict (split={split})");
+            assert_serializable(&engine, &batch, &report, &pre);
+        }
+        // Same cell still conflicts, of course.
+        let (db, t) = small_db();
+        let txns = vec![
+            Txn::new(ProcId(0), vec![], vec![write(t, 5, 50)]),
+            Txn::new(ProcId(0), vec![], vec![write(t, 5, 60)]),
+        ];
+        let (.., same_cell, _) = run(db, LtpgConfig::default(), txns);
+        assert_eq!(same_cell.committed.len(), 1);
+    }
+
+    #[test]
+    fn engine_is_deterministic_across_parallelism() {
+        let mk = |threads: usize| {
+            let (db, t) = small_db();
+            let mut cfg = LtpgConfig::default();
+            cfg.device.parallel_host_threads = threads;
+            let txns: Vec<Txn> = (0..200)
+                .map(|i| {
+                    Txn::new(
+                        ProcId((i % 2) as u16),
+                        vec![],
+                        vec![read(t, i % 30, 0), write(t, (i * 7) % 40, i)],
+                    )
+                })
+                .collect();
+            let (engine, _b, report, _p) = run(db, cfg, txns);
+            (report.committed, engine.database().state_digest())
+        };
+        let (c1, d1) = mk(1);
+        let (c4, d4) = mk(4);
+        assert_eq!(c1, c4);
+        assert_eq!(d1, d4);
+    }
+
+    #[test]
+    fn aborted_txn_commits_on_reexecution_with_original_tid() {
+        let (db, t) = small_db();
+        let mut engine = LtpgEngine::new(db, LtpgConfig::default());
+        let mut gen = TidGen::new();
+        let txns: Vec<Txn> =
+            (0..5).map(|i| Txn::new(ProcId(0), vec![], vec![write(t, 5, 100 + i)])).collect();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let r1 = engine.execute_batch(&batch);
+        assert_eq!(r1.committed.len(), 1);
+        // Re-queue the aborted transactions (original TIDs).
+        let requeued: Vec<Txn> =
+            r1.aborted.iter().map(|tid| batch.by_tid(*tid).unwrap().clone()).collect();
+        let batch2 = Batch::assemble(requeued, vec![], &mut gen);
+        let r2 = engine.execute_batch(&batch2);
+        // Again exactly one commits — the smallest remaining TID.
+        assert_eq!(r2.committed, vec![Tid(2)]);
+        let rid = engine.database().table(t).lookup(5).unwrap();
+        assert_eq!(engine.database().table(t).get(rid, ColId(0)), 101);
+    }
+
+    #[test]
+    fn inserts_conflict_with_each_other_but_not_with_unique_keys() {
+        let (db, t) = small_db();
+        let mk = |key: i64| {
+            Txn::new(
+                ProcId(0),
+                vec![],
+                vec![IrOp::Insert { table: t, key: Src::Const(key), values: vec![Src::Const(1), Src::Const(2)] }],
+            )
+        };
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), vec![mk(200), mk(200), mk(201)]);
+        assert_eq!(report.committed, vec![Tid(1), Tid(3)]);
+        assert_serializable(&engine, &batch, &report, &pre);
+    }
+
+    #[test]
+    fn user_abort_does_not_block_others() {
+        let (db, t) = small_db();
+        // Key 5 exists: inserting it is a user abort; an unrelated writer
+        // of the same row must still commit (the user abort registers no
+        // conflict-log entries).
+        let txns = vec![
+            Txn::new(ProcId(0), vec![], vec![IrOp::Insert { table: t, key: Src::Const(5), values: vec![Src::Const(0), Src::Const(0)] }]),
+            Txn::new(ProcId(0), vec![], vec![write(t, 5, 77)]),
+        ];
+        let (engine, _batch, report, _pre) = run(db, LtpgConfig::default(), txns);
+        assert_eq!(report.committed, vec![Tid(2)]);
+        let rid = engine.database().table(t).lookup(5).unwrap();
+        assert_eq!(engine.database().table(t).get(rid, ColId(0)), 77);
+    }
+
+    #[test]
+    fn phase_stats_are_populated() {
+        let (db, t) = small_db();
+        let txns = vec![Txn::new(ProcId(0), vec![1], vec![write(t, 1, 2)])];
+        let pre = db.deep_clone();
+        let _ = pre;
+        let mut engine = LtpgEngine::new(db, LtpgConfig::default());
+        let mut gen = TidGen::new();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let rws = engine.execute_batch_report(&batch);
+        let s = &rws.stats;
+        assert!(s.h2d_ns > 0.0 && s.d2h_ns > 0.0);
+        assert!(s.execute_ns > 0.0 && s.detect_ns > 0.0 && s.writeback_ns > 0.0);
+        assert!(s.bytes_h2d > 0 && s.bytes_d2h > 0);
+        assert!((rws.report.sim_ns - s.total_ns()).abs() < 1e-9);
+        assert!(rws.report.transfer_ns < rws.report.sim_ns);
+    }
+
+    #[test]
+    fn ordered_scans_are_phantom_protected() {
+        // A table with an ordered index; a scanner sums a range while an
+        // inserter adds a key inside it.
+        let mut db = Database::new();
+        let t = db.add_built_table(
+            ltpg_storage::Table::new(
+                ltpg_storage::TableBuilder::new("T").columns(["a", "b"]).capacity(64).build(),
+            )
+            .with_ordered(),
+        );
+        for k in 0..10 {
+            db.table(t).insert(k, &[k, 0]).unwrap();
+        }
+        let scanner = Txn::new(
+            ProcId(0),
+            vec![],
+            vec![
+                IrOp::RangeSum { table: t, lo: Src::Const(0), hi: Src::Const(20), col: ColId(0), out: 0 },
+                IrOp::Update { table: t, key: Src::Const(1), col: ColId(1), val: Src::Reg(0) },
+            ],
+        );
+        let inserter = Txn::new(
+            ProcId(1),
+            vec![],
+            vec![IrOp::Insert { table: t, key: Src::Const(15), values: vec![Src::Const(100), Src::Const(0)] }],
+        );
+        // Scanner first (tid 1), inserter second (tid 2): scanner read the
+        // snapshot, inserter's membership write has WAR only — both commit,
+        // ordered scanner-before-inserter; the oracle validates exactly that.
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), vec![scanner, inserter]);
+        assert_eq!(report.committed.len(), 2);
+        assert_serializable(&engine, &batch, &report, &pre);
+        // The scanner's recorded sum is the pre-insert sum (0..=9).
+        let rid = engine.database().table(t).lookup(1).unwrap();
+        assert_eq!(engine.database().table(t).get(rid, ColId(1)), (0..10).sum::<i64>());
+    }
+
+    #[test]
+    fn scanner_reading_after_inserter_aborts_when_it_would_be_inconsistent() {
+        // Inserter (tid 1) adds to the range; scanner (tid 2) scans it AND
+        // overwrites something the inserter read — RAW (via the membership
+        // marker) plus WAR: the scanner must abort under the reorder rule.
+        let mut db = Database::new();
+        let t = db.add_built_table(
+            ltpg_storage::Table::new(
+                ltpg_storage::TableBuilder::new("T").columns(["a", "b"]).capacity(64).build(),
+            )
+            .with_ordered(),
+        );
+        for k in 0..10 {
+            db.table(t).insert(k, &[k, 0]).unwrap();
+        }
+        let inserter = Txn::new(
+            ProcId(1),
+            vec![],
+            vec![
+                IrOp::Read { table: t, key: Src::Const(5), col: ColId(1), out: 0 },
+                IrOp::Insert { table: t, key: Src::Const(15), values: vec![Src::Const(100), Src::Reg(0)] },
+            ],
+        );
+        let scanner = Txn::new(
+            ProcId(0),
+            vec![],
+            vec![
+                IrOp::RangeSum { table: t, lo: Src::Const(0), hi: Src::Const(20), col: ColId(0), out: 0 },
+                IrOp::Update { table: t, key: Src::Const(5), col: ColId(1), val: Src::Reg(0) },
+            ],
+        );
+        let (engine, batch, report, pre) = run(db, LtpgConfig::default(), vec![inserter, scanner]);
+        assert_eq!(report.committed, vec![Tid(1)], "the scanner must abort: {report:?}");
+        assert_serializable(&engine, &batch, &report, &pre);
+    }
+
+    #[test]
+    fn log_overflow_force_aborts_instead_of_panicking() {
+        // A deliberately tiny conflict log: transactions that cannot
+        // register abort gracefully and the rest of the batch proceeds.
+        let mut db = Database::new();
+        let t = db.add_table(
+            ltpg_storage::TableBuilder::new("T").columns(["a", "b"]).capacity(1024).build(),
+        );
+        for k in 0..600 {
+            db.table(t).insert(k, &[k, 0]).unwrap();
+        }
+        // Log sized for ~4*2 accesses: 128 buckets.
+        let cfg =
+            LtpgConfig { max_batch: 4, est_accesses_per_txn: 2, ..LtpgConfig::default() };
+        // 600 distinct write cells overflow a 128-bucket log.
+        let txns: Vec<Txn> =
+            (0..600).map(|i| Txn::new(ProcId(0), vec![], vec![write(t, i, i)])).collect();
+        let pre = db.deep_clone();
+        let mut engine = LtpgEngine::new(db, cfg);
+        let mut gen = TidGen::new();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let rws = engine.execute_batch_report(&batch);
+        // Some force-aborted, the rest committed; nothing panicked and the
+        // committed subset is serializable.
+        assert!(!rws.report.aborted.is_empty(), "tiny log must overflow");
+        assert!(!rws.report.committed.is_empty());
+        assert!(rws.stats.delayed_read_aborts > 0, "overflow counts as forced aborts");
+        let committed: Vec<&Txn> =
+            rws.report.committed.iter().map(|t| batch.by_tid(*t).unwrap()).collect();
+        check_snapshot_serializable(&pre, &committed, engine.database()).unwrap();
+    }
+
+    #[test]
+    fn warp_division_removes_divergence() {
+        let mk = |division: bool| {
+            let (db, t) = small_db();
+            let mut cfg = LtpgConfig::default();
+            cfg.opts.warp_division = division;
+            let txns: Vec<Txn> = (0..256)
+                .map(|i| Txn::new(ProcId((i % 2) as u16), vec![], vec![write(t, i % 100, i)]))
+                .collect();
+            let pre = db.deep_clone();
+            let _ = pre;
+            let mut engine = LtpgEngine::new(db, cfg);
+            let mut gen = TidGen::new();
+            let batch = Batch::assemble(vec![], txns, &mut gen);
+            engine.execute_batch_report(&batch).stats.divergent_warps
+        };
+        assert_eq!(mk(true), 0);
+        assert!(mk(false) > 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! The client-facing system layer.
+//!
+//! The paper's system (Fig. 2) is more than the three kernels: clients
+//! submit transactions, the CPU side assembles batches, assigns TIDs, logs
+//! batches for durability, streams them to the device, and re-queues
+//! aborted transactions for a later batch (two batches later under the
+//! pipeline model, §V-E). [`LtpgServer`] packages that loop behind a
+//! submit/tick/drain API so applications never touch batch assembly.
+
+use std::collections::VecDeque;
+
+use ltpg_storage::Database;
+use ltpg_txn::{Batch, BatchEngine, Tid, TidGen, Txn};
+
+use crate::config::LtpgConfig;
+use crate::engine::LtpgEngine;
+use crate::recovery::{DurabilityManager, RecoveryError};
+
+/// Server policy knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Transactions per batch (smaller final batches are allowed when
+    /// draining).
+    pub batch_size: usize,
+    /// Pipeline mode: aborted transactions re-enter two batches later
+    /// (their upload slot for the next batch has already left the host);
+    /// otherwise the next batch.
+    pub pipelined: bool,
+    /// Take a durability checkpoint every `n` batches (None = only the
+    /// initial checkpoint).
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { batch_size: 1 << 12, pipelined: true, checkpoint_every: None }
+    }
+}
+
+/// Cumulative server statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Batches executed.
+    pub batches: u64,
+    /// Transactions admitted via [`LtpgServer::submit`].
+    pub admitted: u64,
+    /// Transactions committed (each counted once, at commit).
+    pub committed: u64,
+    /// Abort events (one transaction may abort repeatedly before
+    /// committing).
+    pub abort_events: u64,
+    /// Total simulated device time, ns.
+    pub sim_ns: f64,
+}
+
+/// Outcome of one [`LtpgServer::tick`].
+#[derive(Debug, Clone)]
+pub struct BatchSummary {
+    /// TIDs committed by this batch.
+    pub committed: Vec<Tid>,
+    /// TIDs aborted (scheduled for re-execution).
+    pub aborted: Vec<Tid>,
+    /// Simulated batch latency, ns.
+    pub sim_ns: f64,
+}
+
+/// A batching OLTP server over one [`LtpgEngine`].
+pub struct LtpgServer {
+    engine: LtpgEngine,
+    durability: DurabilityManager,
+    cfg: ServerConfig,
+    tids: TidGen,
+    /// Fresh client submissions.
+    inbox: VecDeque<Txn>,
+    /// Aborted transactions waiting out their re-entry delay; slot 0
+    /// re-enters on the next tick.
+    requeue: VecDeque<Vec<Txn>>,
+    stats: ServerStats,
+}
+
+impl LtpgServer {
+    /// Create a server over `db`.
+    pub fn new(db: Database, engine_cfg: LtpgConfig, cfg: ServerConfig) -> Self {
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        let durability = DurabilityManager::new(&db);
+        LtpgServer {
+            engine: LtpgEngine::new(db, engine_cfg),
+            durability,
+            cfg,
+            tids: TidGen::new(),
+            inbox: VecDeque::new(),
+            requeue: VecDeque::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Enqueue one transaction.
+    pub fn submit(&mut self, txn: Txn) {
+        self.stats.admitted += 1;
+        self.inbox.push_back(txn);
+    }
+
+    /// Enqueue many transactions.
+    pub fn submit_all<I: IntoIterator<Item = Txn>>(&mut self, txns: I) {
+        for t in txns {
+            self.submit(t);
+        }
+    }
+
+    /// Transactions waiting (fresh + re-queued).
+    pub fn pending(&self) -> usize {
+        self.inbox.len() + self.requeue.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The live database.
+    pub fn database(&self) -> &Database {
+        self.engine.database()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The durability manager (checkpoint/log inspection, recovery).
+    pub fn durability(&self) -> &DurabilityManager {
+        &self.durability
+    }
+
+    /// Rebuild a database from the last checkpoint + log (what a restarted
+    /// node would do). The server keeps running; this is a read-only
+    /// operation on the durability state.
+    pub fn simulate_recovery(&self, cfg: LtpgConfig) -> Result<Database, RecoveryError> {
+        self.durability.recover(cfg)
+    }
+
+    /// Form and execute one batch. Returns `None` when the server is
+    /// fully idle. An empty summary is returned when nothing is due *yet*
+    /// but aborted transactions are waiting out their re-entry delay (the
+    /// tick advances the delay clock).
+    pub fn tick(&mut self) -> Option<BatchSummary> {
+        let due = self.requeue.pop_front().unwrap_or_default();
+        if due.is_empty() && self.inbox.is_empty() {
+            if self.requeue.iter().all(Vec::is_empty) {
+                return None; // fully idle
+            }
+            // Work is in a later delay slot: this tick just passes time.
+            return Some(BatchSummary { committed: Vec::new(), aborted: Vec::new(), sim_ns: 0.0 });
+        }
+        let mut fresh = Vec::new();
+        while fresh.len() + due.len() < self.cfg.batch_size {
+            match self.inbox.pop_front() {
+                Some(t) => fresh.push(t),
+                None => break,
+            }
+        }
+        let batch = Batch::assemble(due, fresh, &mut self.tids);
+        self.durability.log_batch(&batch);
+        let report = self.engine.execute_batch(&batch);
+
+        self.stats.batches += 1;
+        self.stats.committed += report.committed.len() as u64;
+        self.stats.abort_events += report.aborted.len() as u64;
+        self.stats.sim_ns += report.sim_ns;
+        if let Some(every) = self.cfg.checkpoint_every {
+            if self.stats.batches % every as u64 == 0 {
+                self.durability.checkpoint(self.engine.database());
+            }
+        }
+
+        // Schedule aborts for re-entry.
+        if !report.aborted.is_empty() {
+            let delay = if self.cfg.pipelined { 2 } else { 1 };
+            while self.requeue.len() < delay {
+                self.requeue.push_back(Vec::new());
+            }
+            let retry: Vec<Txn> = report
+                .aborted
+                .iter()
+                .map(|tid| batch.by_tid(*tid).expect("aborted tid in batch").clone())
+                .collect();
+            self.requeue[delay - 1].extend(retry);
+        }
+        Some(BatchSummary {
+            committed: report.committed,
+            aborted: report.aborted,
+            sim_ns: report.sim_ns,
+        })
+    }
+
+    /// Run batches until every admitted transaction has committed (or
+    /// `max_batches` is hit; contention-heavy queues always drain because
+    /// the minimum-TID transaction of each re-entry wave wins its
+    /// conflicts). Returns the final stats.
+    pub fn drain(&mut self, max_batches: usize) -> &ServerStats {
+        for _ in 0..max_batches {
+            if self.tick().is_none() {
+                break;
+            }
+        }
+        &self.stats
+    }
+}
+
+impl std::fmt::Debug for LtpgServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LtpgServer")
+            .field("pending", &self.pending())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltpg_storage::{ColId, TableBuilder, TableId};
+    use ltpg_txn::{IrOp, ProcId, Src};
+
+    fn db_and_writers(n: usize, keys: i64) -> (Database, Vec<Txn>) {
+        let mut db = Database::new();
+        let t = db.add_table(TableBuilder::new("T").columns(["a", "b"]).capacity(64).build());
+        for k in 0..keys {
+            db.table(t).insert(k, &[0, 0]).unwrap();
+        }
+        let txns = (0..n as i64)
+            .map(|i| {
+                Txn::new(
+                    ProcId(0),
+                    vec![],
+                    vec![IrOp::Update {
+                        table: TableId(0),
+                        key: Src::Const(i % keys),
+                        col: ColId(0),
+                        val: Src::Const(i + 1),
+                    }],
+                )
+            })
+            .collect();
+        (db, txns)
+    }
+
+    #[test]
+    fn drain_commits_every_admitted_transaction_exactly_once() {
+        let (db, txns) = db_and_writers(200, 5);
+        let mut server = LtpgServer::new(
+            db,
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 32, pipelined: true, checkpoint_every: None },
+        );
+        server.submit_all(txns);
+        let stats = server.drain(500).clone();
+        assert_eq!(stats.committed, 200, "heavy WAW contention must still drain");
+        assert_eq!(server.pending(), 0);
+        assert!(stats.abort_events > 0, "5 hot keys × 32-txn batches must conflict");
+        assert!(stats.batches as usize >= 200 / 32);
+    }
+
+    #[test]
+    fn pipelined_reentry_waits_two_batches() {
+        let (db, txns) = db_and_writers(64, 1); // all conflict on one key
+        let mut server = LtpgServer::new(
+            db,
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 64, pipelined: true, checkpoint_every: None },
+        );
+        server.submit_all(txns);
+        let s1 = server.tick().unwrap();
+        assert_eq!(s1.committed.len(), 1);
+        // Next tick: the aborted txns are still in their delay slot, and
+        // there is no fresh work — but the slot structure means tick runs
+        // an empty... no: slot 0 is empty, inbox empty → the delayed work
+        // must still surface on the *following* tick.
+        let s2 = server.tick().expect("delay slot keeps the server ticking");
+        assert_eq!(s2.committed.len() + s2.aborted.len(), 0);
+        let s3 = server.tick().unwrap();
+        assert_eq!(s3.committed.len(), 1, "retries re-enter two ticks later");
+    }
+
+    #[test]
+    fn server_recovery_matches_live_state() {
+        let (db, txns) = db_and_writers(120, 7);
+        let mut server = LtpgServer::new(
+            db,
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 16, pipelined: false, checkpoint_every: Some(3) },
+        );
+        server.submit_all(txns);
+        server.drain(200);
+        let recovered = server.simulate_recovery(LtpgConfig::default()).unwrap();
+        assert_eq!(recovered.state_digest(), server.database().state_digest());
+        assert!(server.durability().logged_batches() > 0);
+    }
+
+    #[test]
+    fn empty_server_ticks_none() {
+        let (db, _) = db_and_writers(0, 3);
+        let mut server = LtpgServer::new(db, LtpgConfig::default(), ServerConfig::default());
+        assert!(server.tick().is_none());
+        assert_eq!(server.stats().batches, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-batch phase breakdown, the raw material for paper Tables IV, V and
+//! IX and Fig. 6a.
+
+use ltpg_txn::BatchReport;
+
+/// Detailed simulated timings and counters for one LTPG batch.
+#[derive(Debug, Clone, Default)]
+pub struct LtpgBatchStats {
+    /// H2D upload of transaction parameters, ns.
+    pub h2d_ns: f64,
+    /// Execute-phase kernel, ns.
+    pub execute_ns: f64,
+    /// Conflict-detection kernel, ns.
+    pub detect_ns: f64,
+    /// Write-back kernels (including the delayed-update merge), ns.
+    pub writeback_ns: f64,
+    /// Device synchronization barriers, ns.
+    pub sync_ns: f64,
+    /// D2H download of results / read-write sets, ns.
+    pub d2h_ns: f64,
+    /// Bytes uploaded.
+    pub bytes_h2d: u64,
+    /// Bytes downloaded.
+    pub bytes_d2h: u64,
+    /// Atomic operations issued across all kernels of the batch.
+    pub atomic_ops: u64,
+    /// Summed serialization depth of those atomics.
+    pub atomic_serial_depth: u64,
+    /// Warps that diverged (mixed branch tags).
+    pub divergent_warps: u64,
+    /// Unified-memory page faults charged.
+    pub page_faults: u64,
+    /// Transactions force-aborted for reading a delayed column (sound
+    /// fallback; should be zero for well-configured workloads).
+    pub delayed_read_aborts: u64,
+    /// Commutative deltas folded at write-back.
+    pub delayed_ops_applied: u64,
+}
+
+impl LtpgBatchStats {
+    /// Total simulated batch latency (parameters-in to results-out).
+    pub fn total_ns(&self) -> f64 {
+        self.h2d_ns + self.execute_ns + self.detect_ns + self.writeback_ns + self.sync_ns + self.d2h_ns
+    }
+
+    /// Transfer-only portion (paper Table IV's second number).
+    pub fn transfer_ns(&self) -> f64 {
+        self.h2d_ns + self.d2h_ns
+    }
+}
+
+/// A [`BatchReport`] bundled with the LTPG-specific phase breakdown.
+#[derive(Debug, Clone)]
+pub struct ReportWithStats {
+    /// The engine-trait-level report.
+    pub report: BatchReport,
+    /// The phase breakdown.
+    pub stats: LtpgBatchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_phases() {
+        let s = LtpgBatchStats {
+            h2d_ns: 1.0,
+            execute_ns: 2.0,
+            detect_ns: 3.0,
+            writeback_ns: 4.0,
+            sync_ns: 5.0,
+            d2h_ns: 6.0,
+            ..LtpgBatchStats::default()
+        };
+        assert!((s.total_ns() - 21.0).abs() < 1e-12);
+        assert!((s.transfer_ns() - 7.0).abs() < 1e-12);
+    }
+}

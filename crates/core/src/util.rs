@@ -1,0 +1,78 @@
+//! Small internal utilities.
+
+use std::cell::UnsafeCell;
+
+/// A fixed-size vector of write-once slots, writable concurrently as long
+/// as every index is written by at most one thread — exactly the access
+/// pattern of a kernel where lane *i* produces result *i*.
+pub(crate) struct SlotVec<T> {
+    slots: Vec<UnsafeCell<Option<T>>>,
+}
+
+// SAFETY: concurrent access is only through `set` with disjoint indices
+// (enforced by the kernel's one-lane-per-item contract) and `into_inner` /
+// `get` after the kernel barrier.
+unsafe impl<T: Send> Sync for SlotVec<T> {}
+
+impl<T> SlotVec<T> {
+    /// Create `n` empty slots.
+    pub fn new(n: usize) -> Self {
+        SlotVec { slots: (0..n).map(|_| UnsafeCell::new(None)).collect() }
+    }
+
+    /// Fill slot `i`. Caller contract: no two threads pass the same `i`.
+    #[allow(clippy::mut_from_ref)]
+    pub fn set(&self, i: usize, value: T) {
+        // SAFETY: disjoint-index contract; see type docs.
+        unsafe { *self.slots[i].get() = Some(value) };
+    }
+
+    /// Read slot `i` after all writers finished.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn get(&mut self, i: usize) -> Option<&T> {
+        self.slots[i].get_mut().as_ref()
+    }
+
+    /// Consume into a plain vector.
+    pub fn into_inner(self) -> Vec<Option<T>> {
+        self.slots.into_iter().map(UnsafeCell::into_inner).collect()
+    }
+
+    /// Number of slots.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let sv = SlotVec::<usize>::new(1_000);
+        crossbeam::scope(|s| {
+            for t in 0..4 {
+                let sv = &sv;
+                s.spawn(move |_| {
+                    for i in (t..1_000).step_by(4) {
+                        sv.set(i, i * 2);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let v = sv.into_inner();
+        assert!(v.iter().enumerate().all(|(i, x)| *x == Some(i * 2)));
+    }
+
+    #[test]
+    fn get_after_fill() {
+        let mut sv = SlotVec::new(3);
+        sv.set(1, "x");
+        assert_eq!(sv.get(0), None);
+        assert_eq!(sv.get(1), Some(&"x"));
+        assert_eq!(sv.len(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! The simulated device: configuration, clock, statistics, and the
+//! allocation footprint used by the unified-memory fault model.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::cost::CostModel;
+use crate::stats::DeviceStats;
+
+/// Where the working set lives, mirroring the paper's "selective memory
+/// mode adjustments" (§V-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MemoryMode {
+    /// Snapshot and conflict logs reside in device memory; host⇄device data
+    /// moves only via explicit transfers. LTPG's normal operating mode.
+    #[default]
+    DeviceResident,
+    /// Host-pinned memory mapped into the device: every global access pays a
+    /// (combined) PCIe surcharge, but explicit transfers are free.
+    ZeroCopy,
+    /// CUDA unified memory: the device faults pages in on demand. Cheap while
+    /// the footprint fits device memory; page-fault storms once it does not
+    /// (paper Table IX).
+    Unified,
+}
+
+/// Static configuration of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Lanes per warp. CUDA fixes this at 32; tests may shrink it.
+    pub warp_size: u32,
+    /// Host threads used to fan warps out. `1` (the default) executes warps
+    /// sequentially in a fixed order, making simulated timing bit-for-bit
+    /// reproducible; larger values speed up wall-clock without changing any
+    /// data-race-free kernel's results.
+    pub parallel_host_threads: usize,
+    /// Simulated device memory capacity in bytes (A6000: 48 GiB).
+    pub device_mem_bytes: u64,
+    /// Memory placement mode for global accesses.
+    pub memory_mode: MemoryMode,
+    /// Concurrent page-fault servicing capability of the unified-memory
+    /// model: faults batch and prefetch, so this is large (calibrated
+    /// against paper Table IX's unified-memory blow-up).
+    pub fault_overlap: f64,
+    /// The calibrated cost table.
+    pub cost: CostModel,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            warp_size: 32,
+            parallel_host_threads: 1,
+            device_mem_bytes: 48 * (1 << 30),
+            memory_mode: MemoryMode::DeviceResident,
+            fault_overlap: 3_500.0,
+            cost: CostModel::a6000(),
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A convenience constructor that fans warps out over `n` host threads.
+    pub fn parallel(n: usize) -> Self {
+        DeviceConfig { parallel_host_threads: n.max(1), ..Self::default() }
+    }
+}
+
+/// A simulated GPU. Cheap to share by reference; all mutation is interior.
+#[derive(Debug)]
+pub struct Device {
+    pub(crate) cfg: DeviceConfig,
+    pub(crate) stats: Mutex<DeviceStats>,
+    /// Monotonic kernel-epoch counter feeding the atomic contention meters.
+    pub(crate) epoch: AtomicU32,
+    /// Bytes currently allocated on (or managed by) the device.
+    allocated: AtomicU64,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Device {
+            cfg,
+            stats: Mutex::new(DeviceStats::default()),
+            epoch: AtomicU32::new(0),
+            allocated: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    /// The calibrated cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// Simulated nanoseconds of device busy time accumulated so far.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.stats.lock().busy_ns
+    }
+
+    /// Snapshot the cumulative counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats.lock().clone()
+    }
+
+    /// Zero the clock and counters (allocation footprint is preserved).
+    pub fn reset(&self) {
+        *self.stats.lock() = DeviceStats::default();
+    }
+
+    /// Advance the simulated clock by `ns` of device-serial work that is not
+    /// a kernel (e.g. a non-overlapped transfer).
+    pub fn advance(&self, ns: f64) {
+        self.stats.lock().busy_ns += ns;
+    }
+
+    /// Record a `cudaDeviceSynchronize()`-style barrier. LTPG calls this
+    /// between its three phase kernels (paper Algorithm 1, lines 2/4/6).
+    pub fn synchronize(&self) {
+        let mut s = self.stats.lock();
+        s.syncs += 1;
+        s.busy_ns += self.cfg.cost.device_sync_ns;
+    }
+
+    /// Charge a host→device copy of `bytes`; returns its simulated duration.
+    /// The clock advances (non-overlapped transfer); overlapped pipelines
+    /// should instead combine durations through [`crate::transfer::Pipeline`].
+    pub fn h2d(&self, bytes: u64) -> f64 {
+        let ns = self.cfg.cost.transfer_ns(bytes);
+        let mut s = self.stats.lock();
+        s.bytes_h2d += bytes;
+        s.busy_ns += ns;
+        ns
+    }
+
+    /// Charge a device→host copy of `bytes`; returns its simulated duration.
+    pub fn d2h(&self, bytes: u64) -> f64 {
+        let ns = self.cfg.cost.transfer_ns(bytes);
+        let mut s = self.stats.lock();
+        s.bytes_d2h += bytes;
+        s.busy_ns += ns;
+        ns
+    }
+
+    /// Cost of a transfer without advancing the clock (for pipelined stages
+    /// whose overlap is computed separately).
+    pub fn transfer_cost_ns(&self, bytes: u64) -> f64 {
+        self.cfg.cost.transfer_ns(bytes)
+    }
+
+    /// Register `bytes` of device allocation (affects the unified-memory
+    /// fault model).
+    pub fn register_allocation(&self, bytes: u64) {
+        self.allocated.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` of previously registered allocation.
+    pub fn release_allocation(&self, bytes: u64) {
+        self.allocated.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Bytes currently registered as allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of accesses that miss device memory under the unified-memory
+    /// model: 0 while the footprint fits, approaching 1 as it outgrows the
+    /// device.
+    pub(crate) fn fault_fraction(&self) -> f64 {
+        if self.cfg.memory_mode != MemoryMode::Unified {
+            return 0.0;
+        }
+        let foot = self.allocated.load(Ordering::Relaxed) as f64;
+        let cap = self.cfg.device_mem_bytes as f64;
+        if foot <= cap {
+            0.0
+        } else {
+            1.0 - cap / foot
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_charges_overhead() {
+        let d = Device::new(DeviceConfig::default());
+        d.synchronize();
+        d.synchronize();
+        let s = d.stats();
+        assert_eq!(s.syncs, 2);
+        assert!((s.busy_ns - 2.0 * d.cost().device_sync_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfers_accumulate_bytes_and_time() {
+        let d = Device::new(DeviceConfig::default());
+        let up = d.h2d(1 << 20);
+        let down = d.d2h(1 << 10);
+        let s = d.stats();
+        assert_eq!(s.bytes_h2d, 1 << 20);
+        assert_eq!(s.bytes_d2h, 1 << 10);
+        assert!((s.busy_ns - up - down).abs() < 1e-9);
+        assert!(up > down);
+    }
+
+    #[test]
+    fn fault_fraction_zero_until_over_capacity() {
+        let cfg = DeviceConfig {
+            memory_mode: MemoryMode::Unified,
+            device_mem_bytes: 1000,
+            ..DeviceConfig::default()
+        };
+        let d = Device::new(cfg);
+        d.register_allocation(500);
+        assert_eq!(d.fault_fraction(), 0.0);
+        d.register_allocation(1500); // total 2000: half the pages can't fit
+        assert!((d.fault_fraction() - 0.5).abs() < 1e-12);
+        d.release_allocation(1500);
+        assert_eq!(d.fault_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fault_fraction_requires_unified_mode() {
+        let cfg = DeviceConfig {
+            device_mem_bytes: 10,
+            memory_mode: MemoryMode::DeviceResident,
+            ..DeviceConfig::default()
+        };
+        let d = Device::new(cfg);
+        d.register_allocation(100);
+        assert_eq!(d.fault_fraction(), 0.0);
+    }
+
+    #[test]
+    fn reset_preserves_allocation_footprint() {
+        let d = Device::new(DeviceConfig::default());
+        d.register_allocation(4096);
+        d.advance(10.0);
+        d.reset();
+        assert_eq!(d.elapsed_ns(), 0.0);
+        assert_eq!(d.allocated_bytes(), 4096);
+    }
+}

@@ -1,0 +1,82 @@
+//! Device allocation tracking.
+//!
+//! Engines register the byte footprint of each device-resident structure
+//! (snapshot columns, conflict logs, register files) through a
+//! [`DeviceAllocator`]. The footprint feeds the unified-memory fault model
+//! and the memory-occupancy reporting of paper Table VIII.
+
+use std::sync::Arc;
+
+use crate::device::Device;
+
+/// An RAII registration of `bytes` of device memory against a [`Device`].
+/// Dropping it releases the footprint.
+#[derive(Debug)]
+pub struct DeviceAllocation {
+    device: Arc<Device>,
+    bytes: u64,
+    label: &'static str,
+}
+
+impl DeviceAllocation {
+    /// Bytes covered by this allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The label this allocation was registered under.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl Drop for DeviceAllocation {
+    fn drop(&mut self) {
+        self.device.release_allocation(self.bytes);
+    }
+}
+
+/// Hands out [`DeviceAllocation`]s against one device.
+#[derive(Debug, Clone)]
+pub struct DeviceAllocator {
+    device: Arc<Device>,
+}
+
+impl DeviceAllocator {
+    /// Create an allocator for `device`.
+    pub fn new(device: Arc<Device>) -> Self {
+        DeviceAllocator { device }
+    }
+
+    /// Register a labelled allocation of `bytes`.
+    pub fn alloc(&self, label: &'static str, bytes: u64) -> DeviceAllocation {
+        self.device.register_allocation(bytes);
+        DeviceAllocation { device: Arc::clone(&self.device), bytes, label }
+    }
+
+    /// Register an allocation sized for `n` elements of `size_of::<T>()`.
+    pub fn alloc_array<T>(&self, label: &'static str, n: usize) -> DeviceAllocation {
+        self.alloc(label, (n * std::mem::size_of::<T>()) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    #[test]
+    fn allocations_register_and_release_on_drop() {
+        let device = Arc::new(Device::new(DeviceConfig::default()));
+        let alloc = DeviceAllocator::new(Arc::clone(&device));
+        let a = alloc.alloc("snapshot", 1024);
+        let b = alloc.alloc_array::<u64>("log", 16);
+        assert_eq!(device.allocated_bytes(), 1024 + 128);
+        assert_eq!(a.bytes(), 1024);
+        assert_eq!(b.label(), "log");
+        drop(a);
+        assert_eq!(device.allocated_bytes(), 128);
+        drop(b);
+        assert_eq!(device.allocated_bytes(), 0);
+    }
+}

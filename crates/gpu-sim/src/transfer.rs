@@ -1,0 +1,152 @@
+//! PCIe transfer modelling and the three-stage batch pipeline.
+//!
+//! LTPG overlaps, for consecutive batches *n−1*, *n*, *n+1*: returning
+//! results of *n−1* to the host, computing *n* on the device, and uploading
+//! *n+1* (paper §V-E). [`Pipeline`] computes the makespan of that overlap
+//! with the classic stage-recurrence: a batch may start a stage only when
+//! both the previous batch has left that stage and the batch itself has
+//! finished the previous stage.
+
+/// Direction of a host⇄device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferDirection {
+    /// Host to device (upload).
+    H2D,
+    /// Device to host (download).
+    D2H,
+}
+
+/// Stage durations of one batch in the pipeline, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStages {
+    /// Upload of the batch's transaction parameters.
+    pub h2d_ns: f64,
+    /// The three-kernel execution on the device.
+    pub compute_ns: f64,
+    /// Download of results / read-write sets.
+    pub d2h_ns: f64,
+}
+
+/// Computes pipelined vs. serial makespans for a sequence of batches.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    batches: Vec<BatchStages>,
+}
+
+impl Pipeline {
+    /// Create an empty pipeline schedule.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Append one batch's stage durations.
+    pub fn push(&mut self, stages: BatchStages) {
+        self.batches.push(stages);
+    }
+
+    /// Number of batches scheduled.
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Whether no batches are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Total time with no overlap: every batch runs H2D → compute → D2H
+    /// back-to-back. This is LTPG without the pipeline optimization.
+    pub fn serial_makespan_ns(&self) -> f64 {
+        self.batches.iter().map(|b| b.h2d_ns + b.compute_ns + b.d2h_ns).sum()
+    }
+
+    /// Total time with the three stages overlapped across batches (separate
+    /// copy and compute streams, as CUDA streams provide).
+    pub fn overlapped_makespan_ns(&self) -> f64 {
+        let mut h2d_done = 0.0f64;
+        let mut comp_done = 0.0f64;
+        let mut d2h_done = 0.0f64;
+        for b in &self.batches {
+            h2d_done += b.h2d_ns;
+            comp_done = comp_done.max(h2d_done) + b.compute_ns;
+            d2h_done = d2h_done.max(comp_done) + b.d2h_ns;
+        }
+        d2h_done
+    }
+
+    /// `serial / overlapped` — the speedup delivered by the pipeline.
+    pub fn speedup(&self) -> f64 {
+        let o = self.overlapped_makespan_ns();
+        if o == 0.0 {
+            1.0
+        } else {
+            self.serial_makespan_ns() / o
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, h: f64, c: f64, d: f64) -> Pipeline {
+        let mut p = Pipeline::new();
+        for _ in 0..n {
+            p.push(BatchStages { h2d_ns: h, compute_ns: c, d2h_ns: d });
+        }
+        p
+    }
+
+    #[test]
+    fn single_batch_has_no_overlap_benefit() {
+        let p = uniform(1, 10.0, 50.0, 10.0);
+        assert!((p.serial_makespan_ns() - 70.0).abs() < 1e-9);
+        assert!((p.overlapped_makespan_ns() - 70.0).abs() < 1e-9);
+        assert!((p.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bound_pipeline_approaches_compute_time() {
+        // Transfers much shorter than compute: overlapped makespan tends to
+        // n * compute + edge effects.
+        let p = uniform(100, 5.0, 50.0, 5.0);
+        let overlapped = p.overlapped_makespan_ns();
+        assert!((overlapped - (5.0 + 100.0 * 50.0 + 5.0)).abs() < 1e-6);
+        assert!(p.speedup() > 1.15);
+    }
+
+    #[test]
+    fn transfer_bound_pipeline_is_limited_by_the_copy_stream() {
+        let p = uniform(50, 100.0, 10.0, 100.0);
+        // The D2H stream alone needs 50*100; makespan can't beat that.
+        assert!(p.overlapped_makespan_ns() >= 50.0 * 100.0);
+        assert!(p.overlapped_makespan_ns() < p.serial_makespan_ns());
+    }
+
+    #[test]
+    fn overlap_never_beats_any_single_stream_bound_or_loses_to_serial() {
+        let mut p = Pipeline::new();
+        for i in 0..20 {
+            p.push(BatchStages {
+                h2d_ns: 10.0 + i as f64,
+                compute_ns: 40.0 - i as f64,
+                d2h_ns: 7.0,
+            });
+        }
+        let o = p.overlapped_makespan_ns();
+        let h2d_total: f64 = (0..20).map(|i| 10.0 + i as f64).sum();
+        let comp_total: f64 = (0..20).map(|i| 40.0 - i as f64).sum();
+        assert!(o >= h2d_total);
+        assert!(o >= comp_total);
+        assert!(o <= p.serial_makespan_ns());
+    }
+
+    #[test]
+    fn empty_pipeline_is_zero() {
+        let p = Pipeline::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.serial_makespan_ns(), 0.0);
+        assert_eq!(p.overlapped_makespan_ns(), 0.0);
+    }
+}

@@ -1,0 +1,387 @@
+//! An ordered index: a from-scratch B+tree over `i64` keys.
+//!
+//! The paper supports only hash lookups and notes that "LTPG can be
+//! readily extended to support range queries, by integrating indexing,
+//! such as B-trees" (§VI-A, future work). This module provides that
+//! extension: a classic arena-allocated B+tree (leaves linked for range
+//! scans) guarded by an `RwLock` — batch engines only mutate indexes in
+//! the write-back phase, so readers run lock-free in practice and the
+//! write lock is held for one insert at a time.
+//!
+//! The tree is deliberately simple and verifiable rather than clever:
+//! fixed fan-out, top-down splitting is avoided in favour of classic
+//! bottom-up insertion with parent stacks, and every structural invariant
+//! is checked by `validate()` under test.
+
+use parking_lot::RwLock;
+
+use crate::table::RowId;
+
+/// Maximum keys per node (order). Splits produce ⌈B/2⌉-filled nodes.
+const B: usize = 32;
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        keys: Vec<i64>,
+        vals: Vec<RowId>,
+        /// Arena index of the next leaf (key order), for range scans.
+        next: Option<usize>,
+    },
+    Internal {
+        /// Separator keys; `children.len() == keys.len() + 1`.
+        keys: Vec<i64>,
+        children: Vec<usize>,
+    },
+}
+
+#[derive(Debug)]
+struct Tree {
+    arena: Vec<Node>,
+    root: usize,
+    len: usize,
+}
+
+impl Tree {
+    fn new() -> Self {
+        Tree { arena: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None }], root: 0, len: 0 }
+    }
+
+    /// Descend to the leaf that should hold `key`, recording the path.
+    fn find_leaf(&self, key: i64) -> (usize, Vec<(usize, usize)>) {
+        let mut path = Vec::new();
+        let mut node = self.root;
+        loop {
+            match &self.arena[node] {
+                Node::Leaf { .. } => return (node, path),
+                Node::Internal { keys, children } => {
+                    let slot = keys.partition_point(|&k| k <= key);
+                    path.push((node, slot));
+                    node = children[slot];
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, key: i64, val: RowId) -> Option<RowId> {
+        let (leaf_idx, path) = self.find_leaf(key);
+        // Insert into the leaf.
+        let (split_key, new_node) = {
+            let Node::Leaf { keys, vals, next } = &mut self.arena[leaf_idx] else { unreachable!() };
+            match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = vals[i];
+                    vals[i] = val;
+                    return Some(old);
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    vals.insert(i, val);
+                    self.len += 1;
+                }
+            }
+            if keys.len() <= B {
+                return None;
+            }
+            // Split the leaf.
+            let mid = keys.len() / 2;
+            let right_keys = keys.split_off(mid);
+            let right_vals = vals.split_off(mid);
+            let split_key = right_keys[0];
+            let right = Node::Leaf { keys: right_keys, vals: right_vals, next: *next };
+            (split_key, right)
+        };
+        let right_idx = self.arena.len();
+        self.arena.push(new_node);
+        if let Node::Leaf { next, .. } = &mut self.arena[leaf_idx] {
+            *next = Some(right_idx);
+        }
+        self.insert_into_parents(path, split_key, right_idx);
+        None
+    }
+
+    /// Propagate a split up the recorded path, splitting internals as
+    /// needed; grows a new root when the old root splits.
+    fn insert_into_parents(&mut self, mut path: Vec<(usize, usize)>, mut key: i64, mut right: usize) {
+        loop {
+            match path.pop() {
+                None => {
+                    // Root split: build a new root.
+                    let old_root = self.root;
+                    let new_root = Node::Internal { keys: vec![key], children: vec![old_root, right] };
+                    self.arena.push(new_root);
+                    self.root = self.arena.len() - 1;
+                    return;
+                }
+                Some((node, slot)) => {
+                    let (split_key, new_node) = {
+                        let Node::Internal { keys, children } = &mut self.arena[node] else {
+                            unreachable!()
+                        };
+                        keys.insert(slot, key);
+                        children.insert(slot + 1, right);
+                        if keys.len() <= B {
+                            return;
+                        }
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid + 1);
+                        let right_children = children.split_off(mid + 1);
+                        let up_key = keys.pop().expect("mid key");
+                        (up_key, Node::Internal { keys: right_keys, children: right_children })
+                    };
+                    self.arena.push(new_node);
+                    key = split_key;
+                    right = self.arena.len() - 1;
+                }
+            }
+        }
+    }
+
+    fn get(&self, key: i64) -> Option<RowId> {
+        let (leaf, _) = self.find_leaf(key);
+        let Node::Leaf { keys, vals, .. } = &self.arena[leaf] else { unreachable!() };
+        keys.binary_search(&key).ok().map(|i| vals[i])
+    }
+
+    fn remove(&mut self, key: i64) -> Option<RowId> {
+        // Lazy deletion: remove from the leaf without rebalancing (nodes
+        // may underfill; lookups and scans remain correct, and batch
+        // workloads rebuild indexes rarely). Classic trade documented in
+        // the module docs.
+        let (leaf, _) = self.find_leaf(key);
+        let Node::Leaf { keys, vals, .. } = &mut self.arena[leaf] else { unreachable!() };
+        match keys.binary_search(&key) {
+            Ok(i) => {
+                keys.remove(i);
+                let v = vals.remove(i);
+                self.len -= 1;
+                Some(v)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Visit `(key, rid)` pairs in `[lo, hi)` in key order.
+    fn range(&self, lo: i64, hi: i64, out: &mut Vec<(i64, RowId)>) {
+        let (mut leaf, _) = self.find_leaf(lo);
+        loop {
+            let Node::Leaf { keys, vals, next } = &self.arena[leaf] else { unreachable!() };
+            let start = keys.partition_point(|&k| k < lo);
+            for i in start..keys.len() {
+                if keys[i] >= hi {
+                    return;
+                }
+                out.push((keys[i], vals[i]));
+            }
+            match next {
+                Some(n) => leaf = *n,
+                None => return,
+            }
+        }
+    }
+
+    /// First `(key, rid)` with `key >= lo`.
+    fn first_at_or_after(&self, lo: i64) -> Option<(i64, RowId)> {
+        let (mut leaf, _) = self.find_leaf(lo);
+        loop {
+            let Node::Leaf { keys, vals, next } = &self.arena[leaf] else { unreachable!() };
+            let start = keys.partition_point(|&k| k < lo);
+            if start < keys.len() {
+                return Some((keys[start], vals[start]));
+            }
+            match next {
+                Some(n) => leaf = *n,
+                None => return None,
+            }
+        }
+    }
+
+    /// Check structural invariants (test helper): sorted keys, child
+    /// separation, leaf chain ordering.
+    #[cfg(test)]
+    fn validate(&self) {
+        fn check(tree: &Tree, node: usize, lo: Option<i64>, hi: Option<i64>) -> usize {
+            match &tree.arena[node] {
+                Node::Leaf { keys, vals, .. } => {
+                    assert_eq!(keys.len(), vals.len());
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys unsorted");
+                    for &k in keys {
+                        assert!(lo.is_none_or(|l| k >= l), "leaf key below bound");
+                        assert!(hi.is_none_or(|h| k < h), "leaf key above bound");
+                    }
+                    keys.len()
+                }
+                Node::Internal { keys, children } => {
+                    assert_eq!(children.len(), keys.len() + 1);
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "internal keys unsorted");
+                    let mut count = 0;
+                    for (i, &c) in children.iter().enumerate() {
+                        let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        count += check(tree, c, clo, chi);
+                    }
+                    count
+                }
+            }
+        }
+        assert_eq!(check(self, self.root, None, None), self.len);
+    }
+}
+
+/// A concurrent ordered index: the B+tree behind an `RwLock`.
+#[derive(Debug)]
+pub struct OrderedIndex {
+    tree: RwLock<Tree>,
+}
+
+impl OrderedIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        OrderedIndex { tree: RwLock::new(Tree::new()) }
+    }
+
+    /// Insert `key → rid`; returns the previous mapping if present.
+    pub fn insert(&self, key: i64, rid: RowId) -> Option<RowId> {
+        self.tree.write().insert(key, rid)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: i64) -> Option<RowId> {
+        self.tree.read().get(key)
+    }
+
+    /// Remove `key`; returns the removed mapping.
+    pub fn remove(&self, key: i64) -> Option<RowId> {
+        self.tree.write().remove(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.tree.read().len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `(key, rid)` pairs with `lo <= key < hi`, in key order.
+    pub fn range(&self, lo: i64, hi: i64) -> Vec<(i64, RowId)> {
+        let mut out = Vec::new();
+        self.tree.read().range(lo, hi, &mut out);
+        out
+    }
+
+    /// The smallest entry with `key >= lo` (TPC-C Delivery's
+    /// "oldest undelivered order" probe).
+    pub fn first_at_or_after(&self, lo: i64) -> Option<(i64, RowId)> {
+        self.tree.read().first_at_or_after(lo)
+    }
+}
+
+impl Default for OrderedIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn insert_get_range_roundtrip() {
+        let idx = OrderedIndex::new();
+        for k in (0..1_000).rev() {
+            assert_eq!(idx.insert(k, RowId(k as u32)), None);
+        }
+        idx.tree.read().validate();
+        assert_eq!(idx.len(), 1_000);
+        assert_eq!(idx.get(437), Some(RowId(437)));
+        assert_eq!(idx.get(10_000), None);
+        let r = idx.range(100, 110);
+        assert_eq!(r.len(), 10);
+        assert!(r.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(r[0], (100, RowId(100)));
+    }
+
+    #[test]
+    fn duplicate_insert_replaces() {
+        let idx = OrderedIndex::new();
+        assert_eq!(idx.insert(5, RowId(1)), None);
+        assert_eq!(idx.insert(5, RowId(2)), Some(RowId(1)));
+        assert_eq!(idx.get(5), Some(RowId(2)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_first_at_or_after() {
+        let idx = OrderedIndex::new();
+        for k in [10, 20, 30, 40] {
+            idx.insert(k, RowId(k as u32));
+        }
+        assert_eq!(idx.first_at_or_after(15), Some((20, RowId(20))));
+        assert_eq!(idx.remove(20), Some(RowId(20)));
+        assert_eq!(idx.remove(20), None);
+        assert_eq!(idx.first_at_or_after(15), Some((30, RowId(30))));
+        assert_eq!(idx.first_at_or_after(45), None);
+        idx.tree.read().validate();
+    }
+
+    #[test]
+    fn range_spans_leaf_boundaries() {
+        let idx = OrderedIndex::new();
+        for k in 0..10_000 {
+            idx.insert(k * 2, RowId(k as u32)); // even keys only
+        }
+        idx.tree.read().validate();
+        let r = idx.range(1_001, 1_101);
+        // Even keys in [1001, 1101): 1002..1100 step 2 = 50 keys.
+        assert_eq!(r.len(), 50);
+        assert_eq!(r[0].0, 1_002);
+        assert_eq!(r.last().unwrap().0, 1_100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// The B+tree behaves exactly like a `BTreeMap` under arbitrary
+        /// interleavings of insert/remove/get/range.
+        #[test]
+        fn matches_btreemap_model(ops in proptest::collection::vec(
+            prop_oneof![
+                (-500..500i64, 0..1_000u32).prop_map(|(k, v)| (0u8, k, v)),
+                (-500..500i64,).prop_map(|(k,)| (1u8, k, 0)),
+                (-500..500i64,).prop_map(|(k,)| (2u8, k, 0)),
+                (-500..400i64, 1..120i64).prop_map(|(lo, w)| (3u8, lo, w as u32)),
+            ], 1..400)
+        ) {
+            let idx = OrderedIndex::new();
+            let mut model: BTreeMap<i64, RowId> = BTreeMap::new();
+            for (op, k, v) in ops {
+                match op {
+                    0 => {
+                        prop_assert_eq!(idx.insert(k, RowId(v)), model.insert(k, RowId(v)));
+                    }
+                    1 => {
+                        prop_assert_eq!(idx.remove(k), model.remove(&k));
+                    }
+                    2 => {
+                        prop_assert_eq!(idx.get(k), model.get(&k).copied());
+                    }
+                    _ => {
+                        let hi = k + i64::from(v);
+                        let got = idx.range(k, hi);
+                        let want: Vec<(i64, RowId)> =
+                            model.range(k..hi).map(|(a, b)| (*a, *b)).collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            idx.tree.read().validate();
+            prop_assert_eq!(idx.len(), model.len());
+        }
+    }
+}

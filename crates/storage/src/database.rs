@@ -1,0 +1,129 @@
+//! The database: an ordered collection of tables plus whole-state helpers
+//! (deep clone for oracles, digests for cross-engine comparison, byte
+//! footprint for the device memory model).
+
+use crate::schema::{Schema, TableId};
+use crate::table::Table;
+
+/// A set of tables addressed by [`TableId`]. This *is* the "database
+/// snapshot" of the paper: LTPG keeps it device-resident and the write-back
+/// phase mutates it in place after conflicts are resolved.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Add a table, returning its id.
+    pub fn add_table(&mut self, schema: Schema) -> TableId {
+        assert!(self.tables.len() < u16::MAX as usize, "too many tables");
+        self.tables.push(Table::new(schema));
+        TableId((self.tables.len() - 1) as u16)
+    }
+
+    /// Add a pre-built table (e.g. one carrying a secondary index).
+    pub fn add_built_table(&mut self, table: Table) -> TableId {
+        assert!(self.tables.len() < u16::MAX as usize, "too many tables");
+        self.tables.push(table);
+        TableId((self.tables.len() - 1) as u16)
+    }
+
+    /// Access a table.
+    #[inline]
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[usize::from(id.0)]
+    }
+
+    /// Find a table by name.
+    pub fn table_by_name(&self, name: &str) -> Option<(TableId, &Table)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .find(|(_, t)| t.schema().name == name)
+            .map(|(i, t)| (TableId(i as u16), t))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Iterate `(id, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TableId, &Table)> {
+        self.tables.iter().enumerate().map(|(i, t)| (TableId(i as u16), t))
+    }
+
+    /// Total byte footprint of all tables (cells + key arrays).
+    pub fn bytes(&self) -> u64 {
+        self.tables.iter().map(Table::bytes).sum()
+    }
+
+    /// Deep copy of all tables — the oracle's pre-batch snapshot.
+    pub fn deep_clone(&self) -> Database {
+        Database { tables: self.tables.iter().map(Table::deep_clone).collect() }
+    }
+
+    /// Digest of the complete live state. Two databases that executed the
+    /// same committed transactions agree on this value.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for t in &self.tables {
+            t.digest_into(&mut h);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColId, TableBuilder};
+
+    fn two_table_db() -> (Database, TableId, TableId) {
+        let mut db = Database::new();
+        let a = db.add_table(TableBuilder::new("A").column("x").capacity(10).build());
+        let b = db.add_table(TableBuilder::new("B").columns(["y", "z"]).capacity(10).build());
+        (db, a, b)
+    }
+
+    #[test]
+    fn tables_are_addressable_by_id_and_name() {
+        let (db, a, b) = two_table_db();
+        assert_eq!(db.table_count(), 2);
+        assert_eq!(db.table(a).schema().name, "A");
+        assert_eq!(db.table_by_name("B").unwrap().0, b);
+        assert!(db.table_by_name("C").is_none());
+    }
+
+    #[test]
+    fn digest_covers_all_tables() {
+        let (db, a, b) = two_table_db();
+        db.table(a).insert(1, &[5]).unwrap();
+        let d1 = db.state_digest();
+        db.table(b).insert(1, &[5, 6]).unwrap();
+        let d2 = db.state_digest();
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn deep_clone_matches_then_diverges() {
+        let (db, a, _) = two_table_db();
+        db.table(a).insert(3, &[30]).unwrap();
+        let clone = db.deep_clone();
+        assert_eq!(db.state_digest(), clone.state_digest());
+        let rid = clone.table(a).lookup(3).unwrap();
+        clone.table(a).set(rid, ColId(0), 31);
+        assert_ne!(db.state_digest(), clone.state_digest());
+    }
+
+    #[test]
+    fn bytes_sums_tables() {
+        let (db, a, b) = two_table_db();
+        assert_eq!(db.bytes(), db.table(a).bytes() + db.table(b).bytes());
+    }
+}

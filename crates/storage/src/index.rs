@@ -1,0 +1,353 @@
+//! Hash indexes.
+//!
+//! [`PrimaryIndex`] is a lock-free open-addressing table from `i64` key to
+//! [`RowId`], safe for concurrent inserts and lookups — it is what the
+//! write-back kernel's lanes use when transactions insert rows (TPC-C
+//! NewOrder inserting orders and order lines). Linear probing is used, the
+//! same collision policy the paper adopts for its conflict-log hash tables
+//! (§V-C: `h(key, i) = (key + i) mod s_h`).
+//!
+//! [`SecondaryIndex`] is a sharded multi-map (key → many rows) for non-unique
+//! access paths; it sits off the hot path and uses sharded `RwLock`s.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU32, AtomicUsize, Ordering};
+
+use crate::table::RowId;
+
+/// Key value meaning "slot never used".
+const EMPTY: i64 = i64::MIN;
+/// Key value meaning "slot used, then deleted" — probes continue past it,
+/// inserts may reclaim it.
+const TOMBSTONE: i64 = i64::MIN + 1;
+/// RowId value meaning "slot claimed, row id not yet published".
+const PENDING: u32 = u32::MAX;
+
+/// Finalizer-quality mix of an `i64` key (splitmix64 finalizer).
+#[inline]
+pub fn mix_key(key: i64) -> u64 {
+    let mut z = (key as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct Slot {
+    key: AtomicI64,
+    rid: AtomicU32,
+}
+
+/// Error returned when inserting a key that is already present.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateKey {
+    /// The row the key already maps to.
+    pub existing: RowId,
+}
+
+/// Lock-free unique index: `i64` key → [`RowId`].
+pub struct PrimaryIndex {
+    slots: Box<[Slot]>,
+    mask: usize,
+    len: AtomicUsize,
+}
+
+impl PrimaryIndex {
+    /// Create an index able to hold `expected` keys comfortably (the slot
+    /// array is the next power of two above `2 * expected`).
+    pub fn with_capacity(expected: usize) -> Self {
+        let n = (expected.max(8) * 2).next_power_of_two();
+        let slots = (0..n)
+            .map(|_| Slot { key: AtomicI64::new(EMPTY), rid: AtomicU32::new(PENDING) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        PrimaryIndex { slots, mask: n - 1, len: AtomicUsize::new(0) }
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert `key → rid`. `key` must not be `i64::MIN` or `i64::MIN + 1`
+    /// (reserved sentinels). Returns `Err(DuplicateKey)` if present.
+    pub fn insert(&self, key: i64, rid: RowId) -> Result<(), DuplicateKey> {
+        assert!(key != EMPTY && key != TOMBSTONE, "reserved key value");
+        let start = mix_key(key) as usize & self.mask;
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let mut k = slot.key.load(Ordering::Acquire);
+            loop {
+                if k == key {
+                    return Err(DuplicateKey { existing: self.wait_rid(slot) });
+                }
+                if k != EMPTY && k != TOMBSTONE {
+                    break; // occupied by another key; probe on
+                }
+                match slot.key.compare_exchange(k, key, Ordering::AcqRel, Ordering::Acquire) {
+                    Ok(_) => {
+                        slot.rid.store(rid.0, Ordering::Release);
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Err(observed) => k = observed, // lost the race; re-examine
+                }
+            }
+        }
+        panic!("primary index full ({} slots)", self.slots.len());
+    }
+
+    /// A claimed slot publishes its row id momentarily after the key; spin
+    /// for it (bounded by one store on the writer side).
+    #[inline]
+    fn wait_rid(&self, slot: &Slot) -> RowId {
+        loop {
+            let r = slot.rid.load(Ordering::Acquire);
+            if r != PENDING {
+                return RowId(r);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Look `key` up.
+    pub fn get(&self, key: i64) -> Option<RowId> {
+        if key == EMPTY || key == TOMBSTONE {
+            return None;
+        }
+        let start = mix_key(key) as usize & self.mask;
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let k = slot.key.load(Ordering::Acquire);
+            if k == key {
+                return Some(self.wait_rid(slot));
+            }
+            if k == EMPTY {
+                return None;
+            }
+            // TOMBSTONE or a different key: probe on.
+        }
+        None
+    }
+
+    /// Remove `key`, leaving a tombstone. Returns the row it mapped to.
+    pub fn remove(&self, key: i64) -> Option<RowId> {
+        if key == EMPTY || key == TOMBSTONE {
+            return None;
+        }
+        let start = mix_key(key) as usize & self.mask;
+        for i in 0..=self.mask {
+            let slot = &self.slots[(start + i) & self.mask];
+            let k = slot.key.load(Ordering::Acquire);
+            if k == key {
+                let rid = self.wait_rid(slot);
+                slot.rid.store(PENDING, Ordering::Release);
+                slot.key.store(TOMBSTONE, Ordering::Release);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                return Some(rid);
+            }
+            if k == EMPTY {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Probe distance statistics `(mean, max)` — used by tests to sanity
+    /// check the hash spread.
+    pub fn probe_stats(&self) -> (f64, usize) {
+        let mut total = 0usize;
+        let mut worst = 0usize;
+        let mut n = 0usize;
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let k = slot.key.load(Ordering::Relaxed);
+            if k == EMPTY || k == TOMBSTONE {
+                continue;
+            }
+            let home = mix_key(k) as usize & self.mask;
+            let dist = (idx + self.slots.len() - home) & self.mask;
+            total += dist;
+            worst = worst.max(dist);
+            n += 1;
+        }
+        (if n == 0 { 0.0 } else { total as f64 / n as f64 }, worst)
+    }
+}
+
+impl std::fmt::Debug for PrimaryIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrimaryIndex")
+            .field("slots", &self.slots.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Non-unique index: `i64` key → many [`RowId`]s, sharded for concurrency.
+#[derive(Debug)]
+pub struct SecondaryIndex {
+    shards: Vec<RwLock<HashMap<i64, Vec<RowId>>>>,
+}
+
+impl SecondaryIndex {
+    /// Create with a default shard count.
+    pub fn new() -> Self {
+        SecondaryIndex { shards: (0..16).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    #[inline]
+    fn shard(&self, key: i64) -> &RwLock<HashMap<i64, Vec<RowId>>> {
+        &self.shards[(mix_key(key) as usize) % self.shards.len()]
+    }
+
+    /// Add `rid` under `key` (duplicates allowed).
+    pub fn insert(&self, key: i64, rid: RowId) {
+        self.shard(key).write().entry(key).or_default().push(rid);
+    }
+
+    /// All rows under `key`, in insertion order.
+    pub fn get(&self, key: i64) -> Vec<RowId> {
+        self.shard(key).read().get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Remove one `(key, rid)` pairing; returns whether it was present.
+    pub fn remove(&self, key: i64, rid: RowId) -> bool {
+        let mut shard = self.shard(key).write();
+        if let Some(v) = shard.get_mut(&key) {
+            if let Some(pos) = v.iter().position(|r| *r == rid) {
+                v.remove(pos);
+                if v.is_empty() {
+                    shard.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Default for SecondaryIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let idx = PrimaryIndex::with_capacity(100);
+        for k in 0..100i64 {
+            idx.insert(k * 7 - 50, RowId(k as u32)).unwrap();
+        }
+        assert_eq!(idx.len(), 100);
+        for k in 0..100i64 {
+            assert_eq!(idx.get(k * 7 - 50), Some(RowId(k as u32)));
+        }
+        assert_eq!(idx.get(1_000_000), None);
+    }
+
+    #[test]
+    fn duplicate_insert_reports_existing_row() {
+        let idx = PrimaryIndex::with_capacity(8);
+        idx.insert(42, RowId(1)).unwrap();
+        assert_eq!(idx.insert(42, RowId(2)), Err(DuplicateKey { existing: RowId(1) }));
+        assert_eq!(idx.get(42), Some(RowId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn remove_leaves_probe_chain_intact() {
+        let idx = PrimaryIndex::with_capacity(4);
+        // Force collisions in a tiny table: many keys, small slot count.
+        for k in 0..8i64 {
+            idx.insert(k, RowId(k as u32)).unwrap();
+        }
+        assert_eq!(idx.remove(3), Some(RowId(3)));
+        assert_eq!(idx.get(3), None);
+        // Keys that may have probed past key 3's slot must remain findable.
+        for k in (0..8i64).filter(|&k| k != 3) {
+            assert_eq!(idx.get(k), Some(RowId(k as u32)), "key {k} lost after remove");
+        }
+        // Tombstone slot is reusable.
+        idx.insert(100, RowId(100)).unwrap();
+        assert_eq!(idx.get(100), Some(RowId(100)));
+    }
+
+    #[test]
+    fn concurrent_inserts_all_land() {
+        let idx = PrimaryIndex::with_capacity(8_000);
+        let threads = 8i64;
+        let per = 1_000i64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let idx = &idx;
+                s.spawn(move |_| {
+                    for i in 0..per {
+                        let k = t * per + i;
+                        idx.insert(k, RowId(k as u32)).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(idx.len(), (threads * per) as usize);
+        for k in 0..threads * per {
+            assert_eq!(idx.get(k), Some(RowId(k as u32)));
+        }
+    }
+
+    #[test]
+    fn racing_inserts_of_same_key_admit_exactly_one() {
+        for _ in 0..20 {
+            let idx = PrimaryIndex::with_capacity(64);
+            let winners = std::sync::atomic::AtomicUsize::new(0);
+            crossbeam::scope(|s| {
+                for t in 0..8u32 {
+                    let idx = &idx;
+                    let winners = &winners;
+                    s.spawn(move |_| {
+                        if idx.insert(7, RowId(t)).is_ok() {
+                            winners.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            })
+            .unwrap();
+            assert_eq!(winners.load(Ordering::Relaxed), 1);
+            assert!(idx.get(7).is_some());
+        }
+    }
+
+    #[test]
+    fn probe_stats_reasonable_at_half_load() {
+        let idx = PrimaryIndex::with_capacity(10_000);
+        for k in 0..10_000i64 {
+            idx.insert(k, RowId(k as u32)).unwrap();
+        }
+        let (mean, max) = idx.probe_stats();
+        assert!(mean < 2.0, "mean probe distance {mean}");
+        assert!(max < 64, "max probe distance {max}");
+    }
+
+    #[test]
+    fn secondary_index_multimap_semantics() {
+        let idx = SecondaryIndex::new();
+        idx.insert(5, RowId(1));
+        idx.insert(5, RowId(2));
+        idx.insert(6, RowId(3));
+        assert_eq!(idx.get(5), vec![RowId(1), RowId(2)]);
+        assert_eq!(idx.get(6), vec![RowId(3)]);
+        assert!(idx.remove(5, RowId(1)));
+        assert!(!idx.remove(5, RowId(9)));
+        assert_eq!(idx.get(5), vec![RowId(2)]);
+        assert_eq!(idx.get(999), Vec::<RowId>::new());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # ltpg-storage — the in-memory storage engine
+//!
+//! Storage substrate shared by LTPG and every baseline engine in this
+//! reproduction. Mirrors the paper's storage assumptions (§VI-A):
+//!
+//! * **All attributes are 64-bit integers.** The paper sets every column to
+//!   integer type ("CUDA does not support strings at present"); we do the
+//!   same, so a row is a fixed-width slice of `i64`.
+//! * **Hash indexing only.** Each table has a primary open-addressing hash
+//!   index (key → row) and may carry secondary hash indexes (key → rows).
+//!   Range support is emulated over predefined keys, exactly as the paper
+//!   does for TPC-C's range-dependent transactions.
+//! * **Concurrent write-back.** Row payloads are atomic cells so that the
+//!   write-back kernel's lanes (and multithreaded CPU baselines) can commit
+//!   in parallel without locks; phase barriers provide the ordering.
+//!
+//! The crate also provides the auxiliary stores the baselines need: a
+//! multi-version store ([`mvcc::MultiVersionStore`]) for BOHM, and a
+//! simulated write-ahead batch log ([`wal::BatchLog`]) standing in for the
+//! paper's "batch of transactions recorded on the hard drive as logs".
+
+pub mod btree;
+pub mod database;
+pub mod index;
+pub mod mvcc;
+pub mod schema;
+pub mod table;
+pub mod wal;
+
+pub use btree::OrderedIndex;
+pub use database::Database;
+pub use index::{PrimaryIndex, SecondaryIndex};
+pub use mvcc::MultiVersionStore;
+pub use schema::{ColId, Schema, TableBuilder, TableId};
+pub use table::{
+    membership_key, membership_partition, RowId, Table, TableError, MEMBERSHIP_MARKER_KEY,
+    MEMBERSHIP_PARTITION_SHIFT,
+};
+pub use wal::BatchLog;

@@ -1,0 +1,423 @@
+//! Fixed-width integer tables with atomic cells and a lock-free primary
+//! index. Safe for the phase-structured concurrency of the engines in this
+//! workspace: readers and writers of the *same* batch phase never overlap on
+//! a cell by protocol, and cross-phase ordering comes from barriers.
+
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering};
+
+use crate::btree::OrderedIndex;
+use crate::index::{DuplicateKey, PrimaryIndex, SecondaryIndex};
+use crate::schema::{ColId, Schema};
+
+/// Base of the reserved key range standing for "membership of this
+/// table's key partitions" — the predicate cells that ordered range scans
+/// read and inserts/deletes write, giving Aria-style phantom protection.
+/// A partition is the key's high bits (`key >> MEMBERSHIP_PARTITION_SHIFT`),
+/// so a scan confined to one partition (e.g. one TPC-C district's order
+/// range) only conflicts with inserts into that partition. Never use keys
+/// at or near this value as real row keys.
+pub const MEMBERSHIP_MARKER_KEY: i64 = i64::MAX - 1;
+
+/// High-bit shift defining membership partitions. TPC-C order keys pack
+/// the district above bit 40, so partition == district; small keyspaces
+/// (YCSB) all fall into partition 0 (table-granular protection).
+pub const MEMBERSHIP_PARTITION_SHIFT: u32 = 40;
+
+/// The membership predicate cell key for `partition`.
+#[inline]
+pub fn membership_key(partition: i64) -> i64 {
+    debug_assert!((0..(1 << 22)).contains(&partition), "implausible membership partition");
+    MEMBERSHIP_MARKER_KEY - partition
+}
+
+/// Inverse of [`membership_key`]: `Some(partition)` when `key` lies in the
+/// reserved membership range.
+#[inline]
+pub fn membership_partition(key: i64) -> Option<i64> {
+    let p = MEMBERSHIP_MARKER_KEY.checked_sub(key)?;
+    (0..(1 << 22)).contains(&p).then_some(p)
+}
+
+/// Identifies a row within a table (a dense 0-based slot number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// Row index as usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Key sentinel for a row slot that has been deleted.
+const DELETED_KEY: i64 = i64::MIN;
+
+/// Errors raised by table mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// The table's fixed capacity is exhausted.
+    Full,
+    /// The primary key is already present.
+    Duplicate(RowId),
+}
+
+/// A fixed-capacity table of `i64` cells.
+pub struct Table {
+    schema: Schema,
+    width: usize,
+    /// Row-major cell storage, `capacity * width` atomics.
+    data: Box<[AtomicI64]>,
+    /// Primary key of each live row slot (`DELETED_KEY` when removed);
+    /// lets the table be deep-cloned and digested without walking the index.
+    keys: Box<[AtomicI64]>,
+    row_count: AtomicU32,
+    primary: PrimaryIndex,
+    secondary: Option<SecondaryIndex>,
+    ordered: Option<OrderedIndex>,
+}
+
+impl Table {
+    /// Create an empty table from `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let width = schema.width();
+        let cap = schema.capacity;
+        let data =
+            (0..cap * width).map(|_| AtomicI64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        let keys =
+            (0..cap).map(|_| AtomicI64::new(DELETED_KEY)).collect::<Vec<_>>().into_boxed_slice();
+        Table {
+            width,
+            data,
+            keys,
+            row_count: AtomicU32::new(0),
+            primary: PrimaryIndex::with_capacity(cap),
+            secondary: None,
+            ordered: None,
+            schema,
+        }
+    }
+
+    /// Attach a secondary (non-unique) index to the table.
+    pub fn with_secondary(mut self) -> Self {
+        self.secondary = Some(SecondaryIndex::new());
+        self
+    }
+
+    /// Attach an ordered (B+tree) index, enabling range scans.
+    pub fn with_ordered(mut self) -> Self {
+        self.ordered = Some(OrderedIndex::new());
+        self
+    }
+
+    /// The ordered index, if the table was built with one.
+    pub fn ordered(&self) -> Option<&OrderedIndex> {
+        self.ordered.as_ref()
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of row slots ever allocated (including deleted rows).
+    pub fn len(&self) -> usize {
+        self.row_count.load(Ordering::Acquire) as usize
+    }
+
+    /// Whether no rows were ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of live (indexed) rows.
+    pub fn live_rows(&self) -> usize {
+        self.primary.len()
+    }
+
+    /// Fixed row capacity.
+    pub fn capacity(&self) -> usize {
+        self.schema.capacity
+    }
+
+    /// Columns per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Bytes of cell + key storage — the device footprint of this table.
+    pub fn bytes(&self) -> u64 {
+        ((self.data.len() + self.keys.len()) * std::mem::size_of::<i64>()) as u64
+    }
+
+    #[inline]
+    fn cell(&self, rid: RowId, col: ColId) -> &AtomicI64 {
+        debug_assert!(col.idx() < self.width, "column out of range");
+        &self.data[rid.idx() * self.width + col.idx()]
+    }
+
+    /// Insert a row under `key`. `values` must match the schema width.
+    /// Concurrent-safe; at most one insert of a given key wins.
+    pub fn insert(&self, key: i64, values: &[i64]) -> Result<RowId, TableError> {
+        assert_eq!(values.len(), self.width, "row width mismatch for {}", self.schema.name);
+        let rid = self.row_count.fetch_add(1, Ordering::AcqRel);
+        if rid as usize >= self.schema.capacity {
+            self.row_count.fetch_sub(1, Ordering::AcqRel);
+            return Err(TableError::Full);
+        }
+        let rid = RowId(rid);
+        for (c, v) in values.iter().enumerate() {
+            self.data[rid.idx() * self.width + c].store(*v, Ordering::Relaxed);
+        }
+        self.keys[rid.idx()].store(key, Ordering::Release);
+        match self.primary.insert(key, rid) {
+            Ok(()) => {
+                if let Some(ord) = &self.ordered {
+                    ord.insert(key, rid);
+                }
+                Ok(rid)
+            }
+            Err(DuplicateKey { existing }) => {
+                // The slot is leaked (never indexed); mark it dead.
+                self.keys[rid.idx()].store(DELETED_KEY, Ordering::Release);
+                Err(TableError::Duplicate(existing))
+            }
+        }
+    }
+
+    /// Resolve a primary key to its row.
+    #[inline]
+    pub fn lookup(&self, key: i64) -> Option<RowId> {
+        self.primary.get(key)
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn get(&self, rid: RowId, col: ColId) -> i64 {
+        self.cell(rid, col).load(Ordering::Acquire)
+    }
+
+    /// Overwrite one cell.
+    #[inline]
+    pub fn set(&self, rid: RowId, col: ColId, v: i64) {
+        self.cell(rid, col).store(v, Ordering::Release);
+    }
+
+    /// Atomically add `delta` to one cell, returning the previous value.
+    /// Used by the delayed-update write-back and by CPU baselines.
+    #[inline]
+    pub fn add(&self, rid: RowId, col: ColId, delta: i64) -> i64 {
+        self.cell(rid, col).fetch_add(delta, Ordering::AcqRel)
+    }
+
+    /// Atomic compare-exchange on one cell (TicToc-style lock words).
+    #[inline]
+    pub fn cas(&self, rid: RowId, col: ColId, expect: i64, new: i64) -> Result<i64, i64> {
+        self.cell(rid, col).compare_exchange(expect, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Copy a row's cells into a fresh vector.
+    pub fn row_values(&self, rid: RowId) -> Vec<i64> {
+        (0..self.width).map(|c| self.get(rid, ColId(c as u16))).collect()
+    }
+
+    /// The primary key stored at `rid`, or `None` if the slot was deleted.
+    pub fn key_of(&self, rid: RowId) -> Option<i64> {
+        let k = self.keys[rid.idx()].load(Ordering::Acquire);
+        (k != DELETED_KEY).then_some(k)
+    }
+
+    /// Delete the row under `key`. Returns the freed row id.
+    pub fn delete(&self, key: i64) -> Option<RowId> {
+        let rid = self.primary.remove(key)?;
+        if let Some(ord) = &self.ordered {
+            ord.remove(key);
+        }
+        self.keys[rid.idx()].store(DELETED_KEY, Ordering::Release);
+        Some(rid)
+    }
+
+    /// The secondary index, if the table was built with one.
+    pub fn secondary(&self) -> Option<&SecondaryIndex> {
+        self.secondary.as_ref()
+    }
+
+    /// Deep copy: cells, keys, and a rebuilt primary index. Used by test
+    /// oracles to snapshot pre-batch state.
+    pub fn deep_clone(&self) -> Table {
+        let mut clone = Table::new(self.schema.clone());
+        if self.ordered.is_some() {
+            clone = clone.with_ordered();
+        }
+        if self.secondary.is_some() {
+            // Secondary entries are workload-managed; clone starts empty.
+        }
+        let n = self.len();
+        for r in 0..n {
+            let rid = RowId(r as u32);
+            for c in 0..self.width {
+                let col = ColId(c as u16);
+                clone.data[r * self.width + c].store(self.get(rid, col), Ordering::Relaxed);
+            }
+            let k = self.keys[r].load(Ordering::Acquire);
+            clone.keys[r].store(k, Ordering::Relaxed);
+            if k != DELETED_KEY {
+                clone.primary.insert(k, rid).expect("clone index insert");
+                if let Some(ord) = &clone.ordered {
+                    ord.insert(k, rid);
+                }
+            }
+        }
+        clone.row_count.store(n as u32, Ordering::Release);
+        clone
+    }
+
+    /// Fold the table's live contents into a **row-order-insensitive**
+    /// digest (a multiset hash: per-row FNV hashes combined by wrapping
+    /// addition). Row slot order varies with write-back parallelism, but
+    /// the logical state — the set of `(key, cells)` rows — must not, so
+    /// engine outcomes are compared on exactly that.
+    pub fn digest_into(&self, h: &mut u64) {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        let n = self.len();
+        for r in 0..n {
+            let k = self.keys[r].load(Ordering::Acquire);
+            if k == DELETED_KEY {
+                continue;
+            }
+            let mut row = (FNV_OFFSET ^ (k as u64)).wrapping_mul(FNV_PRIME);
+            for c in 0..self.width {
+                let v = self.get(RowId(r as u32), ColId(c as u16));
+                row = (row ^ (v as u64)).wrapping_mul(FNV_PRIME);
+            }
+            *h = h.wrapping_add(row);
+        }
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.schema.name)
+            .field("rows", &self.len())
+            .field("capacity", &self.schema.capacity)
+            .field("width", &self.width)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableBuilder;
+
+    fn small() -> Table {
+        Table::new(TableBuilder::new("T").columns(["a", "b"]).capacity(100).build())
+    }
+
+    #[test]
+    fn insert_lookup_get_set_roundtrip() {
+        let t = small();
+        let rid = t.insert(7, &[10, 20]).unwrap();
+        assert_eq!(t.lookup(7), Some(rid));
+        assert_eq!(t.get(rid, ColId(0)), 10);
+        assert_eq!(t.get(rid, ColId(1)), 20);
+        t.set(rid, ColId(1), 99);
+        assert_eq!(t.get(rid, ColId(1)), 99);
+        assert_eq!(t.row_values(rid), vec![10, 99]);
+        assert_eq!(t.key_of(rid), Some(7));
+    }
+
+    #[test]
+    fn add_is_fetch_add() {
+        let t = small();
+        let rid = t.insert(1, &[5, 0]).unwrap();
+        assert_eq!(t.add(rid, ColId(0), 3), 5);
+        assert_eq!(t.get(rid, ColId(0)), 8);
+    }
+
+    #[test]
+    fn duplicate_key_rejected_and_capacity_enforced() {
+        let t = Table::new(TableBuilder::new("T").column("a").capacity(3).build());
+        let r0 = t.insert(1, &[0]).unwrap();
+        // The duplicate attempt burns its allocated slot (lock-free slot
+        // allocation cannot be handed back), leaving one usable slot.
+        assert_eq!(t.insert(1, &[1]), Err(TableError::Duplicate(r0)));
+        t.insert(2, &[0]).unwrap();
+        assert_eq!(t.insert(3, &[0]), Err(TableError::Full));
+        assert_eq!(t.live_rows(), 2);
+    }
+
+    #[test]
+    fn delete_unindexes_and_key_of_reports_none() {
+        let t = small();
+        let rid = t.insert(5, &[1, 2]).unwrap();
+        assert_eq!(t.delete(5), Some(rid));
+        assert_eq!(t.lookup(5), None);
+        assert_eq!(t.key_of(rid), None);
+        assert_eq!(t.delete(5), None);
+        assert_eq!(t.live_rows(), 0);
+    }
+
+    #[test]
+    fn deep_clone_is_independent_and_equal() {
+        let t = small();
+        for k in 0..50 {
+            t.insert(k, &[k * 2, k * 3]).unwrap();
+        }
+        t.delete(10);
+        let c = t.deep_clone();
+        let mut h1 = 0xcbf2_9ce4_8422_2325u64;
+        let mut h2 = h1;
+        t.digest_into(&mut h1);
+        c.digest_into(&mut h2);
+        assert_eq!(h1, h2);
+        assert_eq!(c.lookup(10), None);
+        assert_eq!(c.lookup(11).map(|r| c.get(r, ColId(0))), Some(22));
+        // Mutating the clone leaves the original untouched.
+        let rid = c.lookup(20).unwrap();
+        c.set(rid, ColId(0), 777);
+        assert_eq!(t.get(t.lookup(20).unwrap(), ColId(0)), 40);
+    }
+
+    #[test]
+    fn digest_detects_single_cell_change() {
+        let t = small();
+        t.insert(1, &[1, 1]).unwrap();
+        let mut before = 0u64;
+        t.digest_into(&mut before);
+        t.set(t.lookup(1).unwrap(), ColId(1), 2);
+        let mut after = 0u64;
+        t.digest_into(&mut after);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn concurrent_inserts_fill_distinct_slots() {
+        let t = Table::new(TableBuilder::new("T").column("a").capacity(4000).build());
+        crossbeam::scope(|s| {
+            for th in 0..4i64 {
+                let t = &t;
+                s.spawn(move |_| {
+                    for i in 0..1000i64 {
+                        t.insert(th * 1000 + i, &[th]).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(t.len(), 4000);
+        assert_eq!(t.live_rows(), 4000);
+        for k in 0..4000i64 {
+            let rid = t.lookup(k).expect("key missing");
+            assert_eq!(t.key_of(rid), Some(k));
+        }
+    }
+
+    #[test]
+    fn bytes_counts_cells_and_keys() {
+        let t = small(); // 100 rows * 2 cols + 100 keys, 8 bytes each
+        assert_eq!(t.bytes(), (100 * 2 + 100) * 8);
+    }
+}

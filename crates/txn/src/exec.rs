@@ -1,0 +1,745 @@
+//! The reference interpreter.
+//!
+//! [`execute_speculative`] defines the semantics of the IR: it runs a
+//! transaction against a database **without mutating it**, buffering writes
+//! locally (with read-your-own-writes visibility) and recording every access
+//! in a [`TxnEffects`]. This is precisely what a deterministic-OCC execute
+//! phase does; it is also the building block of the serial reference
+//! executor ([`execute_serial`]) and of the serializability oracle.
+
+use std::collections::HashMap;
+
+use ltpg_storage::{ColId, Database, TableId};
+
+use crate::ir::{IrOp, Src};
+use crate::txn::{Tid, Txn};
+
+/// A recorded read. `col: None` records a row-*existence* probe (insert
+/// duplicate checks, reads/updates of missing keys, scan probes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadAccess {
+    /// Table read.
+    pub table: TableId,
+    /// Primary key probed.
+    pub key: i64,
+    /// Cell column, or `None` for an existence probe.
+    pub col: Option<ColId>,
+    /// Value observed (0 for missing cells; 0/1 for existence probes).
+    pub value: i64,
+}
+
+/// A buffered mutation, in program order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Overwrite one cell.
+    Update {
+        /// Table mutated.
+        table: TableId,
+        /// Row key.
+        key: i64,
+        /// Column.
+        col: ColId,
+        /// New value.
+        value: i64,
+    },
+    /// Commutative add to one cell.
+    Add {
+        /// Table mutated.
+        table: TableId,
+        /// Row key.
+        key: i64,
+        /// Column.
+        col: ColId,
+        /// Delta to add.
+        delta: i64,
+    },
+    /// Insert a row.
+    Insert {
+        /// Table mutated.
+        table: TableId,
+        /// New row key.
+        key: i64,
+        /// Full row of column values.
+        values: Vec<i64>,
+    },
+    /// Delete a row.
+    Delete {
+        /// Table mutated.
+        table: TableId,
+        /// Row key.
+        key: i64,
+    },
+}
+
+/// Everything a transaction did, as observed against its read snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxnEffects {
+    /// The transaction's TID (copied for convenience).
+    pub tid: Tid,
+    /// All reads, in program order.
+    pub reads: Vec<ReadAccess>,
+    /// All buffered mutations, in program order.
+    pub mutations: Vec<Mutation>,
+}
+
+impl TxnEffects {
+    /// Count of point reads (cell reads, not existence probes).
+    pub fn cell_reads(&self) -> usize {
+        self.reads.iter().filter(|r| r.col.is_some()).count()
+    }
+
+    /// Approximate device→host bytes for shipping this read/write set
+    /// (paper Table V): compact 4-byte mutation records plus a 1-byte
+    /// read-set bitmap entry per read and a 16-byte header.
+    pub fn rw_set_bytes(&self) -> u64 {
+        (self.mutations.len() * 4 + self.reads.len() + 8) as u64
+    }
+}
+
+/// Why speculative execution failed. Engine-level aborts (conflicts) are
+/// *not* errors; these are user/logic aborts defined by the IR semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Insert hit an existing key.
+    DuplicateInsert {
+        /// Table of the failed insert.
+        table: TableId,
+        /// Conflicting key.
+        key: i64,
+    },
+}
+
+/// The storage a speculating transaction reads from. [`Database`] is the
+/// canonical implementation; baselines substitute their own views (e.g.
+/// BOHM reads TID-visible versions from a multi-version store).
+pub trait CellStore {
+    /// Read one cell; `None` if the row does not exist.
+    fn cell(&self, table: TableId, key: i64, col: ColId) -> Option<i64>;
+    /// Does the row exist?
+    fn row_exists(&self, table: TableId, key: i64) -> bool;
+    /// Column count of a table (insert width checking).
+    fn row_width(&self, table: TableId) -> usize;
+    /// Existing keys in `[lo, hi)` in ascending order, or `None` when the
+    /// table carries no ordered index (or the store does not support
+    /// ordered scans — only snapshot-reading engines do).
+    fn range_keys(&self, table: TableId, lo: i64, hi: i64) -> Option<Vec<i64>> {
+        let _ = (table, lo, hi);
+        None
+    }
+}
+
+impl CellStore for Database {
+    #[inline]
+    fn cell(&self, table: TableId, key: i64, col: ColId) -> Option<i64> {
+        let t = self.table(table);
+        t.lookup(key).map(|rid| t.get(rid, col))
+    }
+
+    #[inline]
+    fn row_exists(&self, table: TableId, key: i64) -> bool {
+        self.table(table).lookup(key).is_some()
+    }
+
+    #[inline]
+    fn row_width(&self, table: TableId) -> usize {
+        self.table(table).width()
+    }
+
+    fn range_keys(&self, table: TableId, lo: i64, hi: i64) -> Option<Vec<i64>> {
+        self.table(table)
+            .ordered()
+            .map(|ord| ord.range(lo, hi).into_iter().map(|(k, _)| k).collect())
+    }
+}
+
+/// Row-existence view local to one transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LocalExistence {
+    Inserted,
+    Deleted,
+}
+
+/// Executes ops against a [`CellStore`] with buffered writes.
+struct Speculator<'a, S: CellStore + ?Sized> {
+    db: &'a S,
+    tid: Tid,
+    regs: Vec<i64>,
+    cell_overrides: HashMap<(u16, i64, u16), i64>,
+    existence: HashMap<(u16, i64), LocalExistence>,
+    inserted_rows: HashMap<(u16, i64), Vec<i64>>,
+    effects: TxnEffects,
+}
+
+impl<'a, S: CellStore + ?Sized> Speculator<'a, S> {
+    fn resolve(&self, s: Src, params: &[i64]) -> i64 {
+        match s {
+            Src::Const(v) => v,
+            Src::Param(p) => params[usize::from(p)],
+            Src::Reg(r) => self.regs[usize::from(r)],
+            Src::Tid => self.tid.0 as i64,
+        }
+    }
+
+    /// Does `key` exist from this transaction's point of view?
+    fn exists(&self, table: TableId, key: i64) -> bool {
+        match self.existence.get(&(table.0, key)) {
+            Some(LocalExistence::Inserted) => true,
+            Some(LocalExistence::Deleted) => false,
+            None => self.db.row_exists(table, key),
+        }
+    }
+
+    /// Read one cell through the local buffer.
+    fn read_cell(&self, table: TableId, key: i64, col: ColId) -> Option<i64> {
+        if let Some(v) = self.cell_overrides.get(&(table.0, key, col.0)) {
+            return Some(*v);
+        }
+        match self.existence.get(&(table.0, key)) {
+            Some(LocalExistence::Inserted) => {
+                Some(self.inserted_rows[&(table.0, key)][col.idx()])
+            }
+            Some(LocalExistence::Deleted) => None,
+            None => self.db.cell(table, key, col),
+        }
+    }
+
+    fn record_cell_read(&mut self, table: TableId, key: i64, col: ColId, value: i64) {
+        self.effects.reads.push(ReadAccess { table, key, col: Some(col), value });
+    }
+
+    fn record_existence_read(&mut self, table: TableId, key: i64, existed: bool) {
+        self.effects.reads.push(ReadAccess { table, key, col: None, value: i64::from(existed) });
+    }
+
+    /// Record reads of the membership predicate cells covering `[lo, hi)`
+    /// (phantom protection for ordered scans). One cell per key partition;
+    /// ranges in practice span a single partition (a TPC-C district's
+    /// orders, a YCSB keyspace).
+    fn record_membership_read(&mut self, table: TableId, lo: i64, hi: i64) {
+        let p_lo = lo >> ltpg_storage::MEMBERSHIP_PARTITION_SHIFT;
+        let p_hi = (hi - 1).max(lo) >> ltpg_storage::MEMBERSHIP_PARTITION_SHIFT;
+        assert!(
+            p_hi - p_lo <= 64,
+            "ordered scan spans {} membership partitions (max 64)",
+            p_hi - p_lo + 1
+        );
+        for p in p_lo..=p_hi {
+            self.effects.reads.push(ReadAccess {
+                table,
+                key: ltpg_storage::membership_key(p),
+                col: None,
+                value: 0,
+            });
+        }
+    }
+
+    /// Ordered keys in `[lo, hi)` as this transaction sees them: the
+    /// store's range merged with local inserts, minus local deletes.
+    fn range_view(&self, table: TableId, lo: i64, hi: i64) -> Vec<i64> {
+        let mut keys = self
+            .db
+            .range_keys(table, lo, hi)
+            .unwrap_or_else(|| panic!("table {} has no ordered index (RangeSum/RangeMinKey/RangeCountBelow need Table::with_ordered)", table.0));
+        keys.retain(|k| {
+            !matches!(self.existence.get(&(table.0, *k)), Some(LocalExistence::Deleted))
+        });
+        for (&(t, k), le) in &self.existence {
+            if t == table.0 && *le == LocalExistence::Inserted && k >= lo && k < hi && !keys.contains(&k)
+            {
+                keys.push(k);
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+
+    fn run(&mut self, txn: &Txn) -> Result<(), ExecError> {
+        for op in &txn.ops {
+            match op {
+                IrOp::Read { table, key, col, out } => {
+                    let k = self.resolve(*key, &txn.params);
+                    let v = match self.read_cell(*table, k, *col) {
+                        Some(v) => {
+                            self.record_cell_read(*table, k, *col, v);
+                            v
+                        }
+                        None => {
+                            self.record_existence_read(*table, k, false);
+                            0
+                        }
+                    };
+                    self.regs[usize::from(*out)] = v;
+                }
+                IrOp::Update { table, key, col, val } => {
+                    let k = self.resolve(*key, &txn.params);
+                    let v = self.resolve(*val, &txn.params);
+                    if self.exists(*table, k) {
+                        self.cell_overrides.insert((table.0, k, col.0), v);
+                        self.effects.mutations.push(Mutation::Update {
+                            table: *table,
+                            key: k,
+                            col: *col,
+                            value: v,
+                        });
+                    } else {
+                        // Missing key: deterministic no-op, tracked as an
+                        // existence miss so conflict analysis still sees it.
+                        self.record_existence_read(*table, k, false);
+                    }
+                }
+                IrOp::Add { table, key, col, delta } => {
+                    let k = self.resolve(*key, &txn.params);
+                    let d = self.resolve(*delta, &txn.params);
+                    if let Some(cur) = self.read_cell(*table, k, *col) {
+                        self.cell_overrides.insert((table.0, k, col.0), cur.wrapping_add(d));
+                        self.effects.mutations.push(Mutation::Add {
+                            table: *table,
+                            key: k,
+                            col: *col,
+                            delta: d,
+                        });
+                    } else {
+                        self.record_existence_read(*table, k, false);
+                    }
+                }
+                IrOp::Insert { table, key, values } => {
+                    let k = self.resolve(*key, &txn.params);
+                    let row: Vec<i64> =
+                        values.iter().map(|s| self.resolve(*s, &txn.params)).collect();
+                    assert_eq!(
+                        row.len(),
+                        self.db.row_width(*table),
+                        "insert width mismatch on table {}",
+                        table.0
+                    );
+                    let existed = self.exists(*table, k);
+                    self.record_existence_read(*table, k, existed);
+                    if existed {
+                        return Err(ExecError::DuplicateInsert { table: *table, key: k });
+                    }
+                    self.existence.insert((table.0, k), LocalExistence::Inserted);
+                    self.inserted_rows.insert((table.0, k), row.clone());
+                    self.effects.mutations.push(Mutation::Insert { table: *table, key: k, values: row });
+                }
+                IrOp::Delete { table, key } => {
+                    let k = self.resolve(*key, &txn.params);
+                    let existed = self.exists(*table, k);
+                    self.record_existence_read(*table, k, existed);
+                    if existed {
+                        self.existence.insert((table.0, k), LocalExistence::Deleted);
+                        self.inserted_rows.remove(&(table.0, k));
+                        self.effects.mutations.push(Mutation::Delete { table: *table, key: k });
+                    }
+                }
+                IrOp::Compute { f, a, b, out } => {
+                    let av = self.resolve(*a, &txn.params);
+                    let bv = self.resolve(*b, &txn.params);
+                    self.regs[usize::from(*out)] = f.apply(av, bv);
+                }
+                IrOp::RangeSum { table, lo, hi, col, out } => {
+                    let (l, h) = (self.resolve(*lo, &txn.params), self.resolve(*hi, &txn.params));
+                    let keys = self.range_view(*table, l, h);
+                    let mut sum = 0i64;
+                    for k in keys {
+                        if let Some(v) = self.read_cell(*table, k, *col) {
+                            self.record_cell_read(*table, k, *col, v);
+                            sum = sum.wrapping_add(v);
+                        }
+                    }
+                    self.record_membership_read(*table, l, h);
+                    self.regs[usize::from(*out)] = sum;
+                }
+                IrOp::RangeMinKey { table, lo, hi, out } => {
+                    let (l, h) = (self.resolve(*lo, &txn.params), self.resolve(*hi, &txn.params));
+                    let min = self.range_view(*table, l, h).into_iter().next().unwrap_or(0);
+                    if min != 0 {
+                        self.record_existence_read(*table, min, true);
+                    }
+                    self.record_membership_read(*table, l, h);
+                    self.regs[usize::from(*out)] = min;
+                }
+                IrOp::RangeCountBelow { table, lo, hi, col, threshold, out } => {
+                    let (l, h) = (self.resolve(*lo, &txn.params), self.resolve(*hi, &txn.params));
+                    let t = self.resolve(*threshold, &txn.params);
+                    let keys = self.range_view(*table, l, h);
+                    let mut count = 0i64;
+                    for k in keys {
+                        if let Some(v) = self.read_cell(*table, k, *col) {
+                            self.record_cell_read(*table, k, *col, v);
+                            if v < t {
+                                count += 1;
+                            }
+                        }
+                    }
+                    self.record_membership_read(*table, l, h);
+                    self.regs[usize::from(*out)] = count;
+                }
+                IrOp::ScanSum { table, start, count, col, out } => {
+                    let s = self.resolve(*start, &txn.params);
+                    let mut sum = 0i64;
+                    for i in 0..i64::from(*count) {
+                        let k = s + i;
+                        match self.read_cell(*table, k, *col) {
+                            Some(v) => {
+                                self.record_cell_read(*table, k, *col, v);
+                                sum = sum.wrapping_add(v);
+                            }
+                            None => self.record_existence_read(*table, k, false),
+                        }
+                    }
+                    self.regs[usize::from(*out)] = sum;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run `txn` against any [`CellStore`] without mutating it; return the
+/// recorded effects. This is the OCC "execute phase" semantics: all reads
+/// observe the store as a snapshot (plus the transaction's own buffered
+/// writes).
+pub fn execute_speculative_on<S: CellStore + ?Sized>(
+    store: &S,
+    txn: &Txn,
+) -> Result<TxnEffects, ExecError> {
+    let mut sp = Speculator {
+        db: store,
+        tid: txn.tid,
+        regs: vec![0; txn.reg_count()],
+        cell_overrides: HashMap::new(),
+        existence: HashMap::new(),
+        inserted_rows: HashMap::new(),
+        effects: TxnEffects { tid: txn.tid, ..TxnEffects::default() },
+    };
+    sp.run(txn)?;
+    Ok(sp.effects)
+}
+
+/// [`execute_speculative_on`] specialized to a [`Database`] snapshot.
+pub fn execute_speculative(db: &Database, txn: &Txn) -> Result<TxnEffects, ExecError> {
+    execute_speculative_on(db, txn)
+}
+
+/// Execute a contiguous range of `txn`'s ops **directly against `db`**
+/// (writes apply immediately — "early write visibility"), threading the
+/// register file between fragments. This is the PWV fragment-execution
+/// primitive. Reads of missing rows yield 0; updates/adds/deletes of
+/// missing rows are no-ops, as in the reference semantics.
+pub fn execute_range_direct(
+    db: &Database,
+    txn: &Txn,
+    range: std::ops::Range<usize>,
+    regs: &mut [i64],
+) -> Result<(), ExecError> {
+    use crate::ir::IrOp;
+    let resolve = |s: crate::ir::Src, regs: &[i64]| -> i64 {
+        match s {
+            crate::ir::Src::Const(v) => v,
+            crate::ir::Src::Param(p) => txn.params[usize::from(p)],
+            crate::ir::Src::Reg(r) => regs[usize::from(r)],
+            crate::ir::Src::Tid => txn.tid.0 as i64,
+        }
+    };
+    for op in &txn.ops[range] {
+        match op {
+            IrOp::Read { table, key, col, out } => {
+                let k = resolve(*key, regs);
+                let t = db.table(*table);
+                regs[usize::from(*out)] =
+                    t.lookup(k).map(|rid| t.get(rid, *col)).unwrap_or(0);
+            }
+            IrOp::Update { table, key, col, val } => {
+                let k = resolve(*key, regs);
+                let v = resolve(*val, regs);
+                let t = db.table(*table);
+                if let Some(rid) = t.lookup(k) {
+                    t.set(rid, *col, v);
+                }
+            }
+            IrOp::Add { table, key, col, delta } => {
+                let k = resolve(*key, regs);
+                let d = resolve(*delta, regs);
+                let t = db.table(*table);
+                if let Some(rid) = t.lookup(k) {
+                    t.add(rid, *col, d);
+                }
+            }
+            IrOp::Insert { table, key, values } => {
+                let k = resolve(*key, regs);
+                let row: Vec<i64> = values.iter().map(|s| resolve(*s, regs)).collect();
+                match db.table(*table).insert(k, &row) {
+                    Ok(_) => {}
+                    Err(_) => return Err(ExecError::DuplicateInsert { table: *table, key: k }),
+                }
+            }
+            IrOp::Delete { table, key } => {
+                let k = resolve(*key, regs);
+                db.table(*table).delete(k);
+            }
+            IrOp::Compute { f, a, b, out } => {
+                let av = resolve(*a, regs);
+                let bv = resolve(*b, regs);
+                regs[usize::from(*out)] = f.apply(av, bv);
+            }
+            IrOp::ScanSum { table, start, count, col, out } => {
+                let s = resolve(*start, regs);
+                let t = db.table(*table);
+                let mut sum = 0i64;
+                for i in 0..i64::from(*count) {
+                    if let Some(rid) = t.lookup(s + i) {
+                        sum = sum.wrapping_add(t.get(rid, *col));
+                    }
+                }
+                regs[usize::from(*out)] = sum;
+            }
+            IrOp::RangeSum { table, lo, hi, col, out } => {
+                let t = db.table(*table);
+                let ord = t.ordered().expect("RangeSum needs an ordered index");
+                let (l, h) = (resolve(*lo, regs), resolve(*hi, regs));
+                regs[usize::from(*out)] =
+                    ord.range(l, h).into_iter().map(|(_, rid)| t.get(rid, *col)).sum();
+            }
+            IrOp::RangeMinKey { table, lo, hi, out } => {
+                let t = db.table(*table);
+                let ord = t.ordered().expect("RangeMinKey needs an ordered index");
+                let (l, h) = (resolve(*lo, regs), resolve(*hi, regs));
+                regs[usize::from(*out)] = match ord.first_at_or_after(l) {
+                    Some((k, _)) if k < h => k,
+                    _ => 0,
+                };
+            }
+            IrOp::RangeCountBelow { table, lo, hi, col, threshold, out } => {
+                let t = db.table(*table);
+                let ord = t.ordered().expect("RangeCountBelow needs an ordered index");
+                let (l, h) = (resolve(*lo, regs), resolve(*hi, regs));
+                let thr = resolve(*threshold, regs);
+                regs[usize::from(*out)] =
+                    ord.range(l, h).into_iter().filter(|(_, rid)| t.get(*rid, *col) < thr).count()
+                        as i64;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Errors from applying buffered mutations to a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// An insert collided with an existing key — the committing engine let
+    /// two inserts of the same key through, or capacity ran out.
+    InsertFailed {
+        /// Table of the failed insert.
+        table: TableId,
+        /// Offending key.
+        key: i64,
+    },
+}
+
+/// Apply a transaction's buffered mutations to `db`, in program order.
+/// Updates/adds/deletes of rows that vanished meanwhile are no-ops.
+pub fn apply_effects(db: &Database, effects: &TxnEffects) -> Result<(), ApplyError> {
+    for m in &effects.mutations {
+        match m {
+            Mutation::Update { table, key, col, value } => {
+                let t = db.table(*table);
+                if let Some(rid) = t.lookup(*key) {
+                    t.set(rid, *col, *value);
+                }
+            }
+            Mutation::Add { table, key, col, delta } => {
+                let t = db.table(*table);
+                if let Some(rid) = t.lookup(*key) {
+                    t.add(rid, *col, *delta);
+                }
+            }
+            Mutation::Insert { table, key, values } => {
+                db.table(*table)
+                    .insert(*key, values)
+                    .map_err(|_| ApplyError::InsertFailed { table: *table, key: *key })?;
+            }
+            Mutation::Delete { table, key } => {
+                db.table(*table).delete(*key);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Execute `txn` serially: speculate, then apply. The canonical semantics
+/// every engine must be equivalent to (per committed transaction).
+pub fn execute_serial(db: &Database, txn: &Txn) -> Result<TxnEffects, ExecError> {
+    let effects = execute_speculative(db, txn)?;
+    apply_effects(db, &effects).expect("serial apply cannot fail after speculation");
+    Ok(effects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::ComputeFn;
+    use crate::txn::ProcId;
+    use ltpg_storage::TableBuilder;
+
+    fn db_one_table() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableBuilder::new("T").columns(["a", "b"]).capacity(64).build());
+        (db, t)
+    }
+
+    fn txn(ops: Vec<IrOp>, params: Vec<i64>) -> Txn {
+        let t = Txn::new(ProcId(0), params, ops);
+        t.validate().expect("test txn must validate");
+        t
+    }
+
+    #[test]
+    fn speculative_execution_does_not_touch_db() {
+        let (db, t) = db_one_table();
+        db.table(t).insert(1, &[10, 20]).unwrap();
+        let tx = txn(
+            vec![IrOp::Update { table: t, key: Src::Const(1), col: ColId(0), val: Src::Const(99) }],
+            vec![],
+        );
+        let fx = execute_speculative(&db, &tx).unwrap();
+        assert_eq!(db.table(t).get(db.table(t).lookup(1).unwrap(), ColId(0)), 10);
+        assert_eq!(fx.mutations.len(), 1);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let (db, t) = db_one_table();
+        db.table(t).insert(1, &[10, 20]).unwrap();
+        let tx = txn(
+            vec![
+                IrOp::Update { table: t, key: Src::Const(1), col: ColId(0), val: Src::Const(50) },
+                IrOp::Read { table: t, key: Src::Const(1), col: ColId(0), out: 0 },
+                IrOp::Update { table: t, key: Src::Const(1), col: ColId(1), val: Src::Reg(0) },
+            ],
+            vec![],
+        );
+        let fx = execute_speculative(&db, &tx).unwrap();
+        // The read saw the buffered 50, and the second update carried it.
+        assert_eq!(fx.reads[0].value, 50);
+        assert!(matches!(
+            fx.mutations[1],
+            Mutation::Update { col: ColId(1), value: 50, .. }
+        ));
+    }
+
+    #[test]
+    fn insert_then_read_and_delete_locally() {
+        let (db, t) = db_one_table();
+        let tx = txn(
+            vec![
+                IrOp::Insert { table: t, key: Src::Const(5), values: vec![Src::Const(7), Src::Const(8)] },
+                IrOp::Read { table: t, key: Src::Const(5), col: ColId(1), out: 0 },
+                IrOp::Delete { table: t, key: Src::Const(5) },
+                IrOp::Read { table: t, key: Src::Const(5), col: ColId(1), out: 1 },
+            ],
+            vec![],
+        );
+        let fx = execute_speculative(&db, &tx).unwrap();
+        assert_eq!(fx.reads[1].value, 8); // saw own insert
+        let last = fx.reads.last().unwrap();
+        assert_eq!(last.col, None); // post-delete read is a miss
+        assert_eq!(last.value, 0);
+    }
+
+    #[test]
+    fn duplicate_insert_is_user_abort() {
+        let (db, t) = db_one_table();
+        db.table(t).insert(5, &[0, 0]).unwrap();
+        let tx = txn(
+            vec![IrOp::Insert { table: t, key: Src::Const(5), values: vec![Src::Const(1), Src::Const(1)] }],
+            vec![],
+        );
+        assert_eq!(
+            execute_speculative(&db, &tx),
+            Err(ExecError::DuplicateInsert { table: t, key: 5 })
+        );
+    }
+
+    #[test]
+    fn update_of_missing_key_is_noop_with_existence_read() {
+        let (db, t) = db_one_table();
+        let tx = txn(
+            vec![IrOp::Update { table: t, key: Src::Const(9), col: ColId(0), val: Src::Const(1) }],
+            vec![],
+        );
+        let fx = execute_speculative(&db, &tx).unwrap();
+        assert!(fx.mutations.is_empty());
+        assert_eq!(fx.reads, vec![ReadAccess { table: t, key: 9, col: None, value: 0 }]);
+    }
+
+    #[test]
+    fn add_accumulates_through_buffer() {
+        let (db, t) = db_one_table();
+        db.table(t).insert(1, &[100, 0]).unwrap();
+        let tx = txn(
+            vec![
+                IrOp::Add { table: t, key: Src::Const(1), col: ColId(0), delta: Src::Const(5) },
+                IrOp::Add { table: t, key: Src::Const(1), col: ColId(0), delta: Src::Const(7) },
+                IrOp::Read { table: t, key: Src::Const(1), col: ColId(0), out: 0 },
+            ],
+            vec![],
+        );
+        let fx = execute_speculative(&db, &tx).unwrap();
+        assert_eq!(fx.reads.last().unwrap().value, 112);
+        apply_effects(&db, &fx).unwrap();
+        assert_eq!(db.table(t).get(db.table(t).lookup(1).unwrap(), ColId(0)), 112);
+    }
+
+    #[test]
+    fn serial_execution_applies_register_dataflow() {
+        let (db, t) = db_one_table();
+        db.table(t).insert(1, &[3, 0]).unwrap();
+        // b = a * 10 + 4
+        let tx = txn(
+            vec![
+                IrOp::Read { table: t, key: Src::Const(1), col: ColId(0), out: 0 },
+                IrOp::Compute { f: ComputeFn::Mul, a: Src::Reg(0), b: Src::Const(10), out: 1 },
+                IrOp::Compute { f: ComputeFn::Add, a: Src::Reg(1), b: Src::Const(4), out: 1 },
+                IrOp::Update { table: t, key: Src::Const(1), col: ColId(1), val: Src::Reg(1) },
+            ],
+            vec![],
+        );
+        execute_serial(&db, &tx).unwrap();
+        assert_eq!(db.table(t).get(db.table(t).lookup(1).unwrap(), ColId(1)), 34);
+    }
+
+    #[test]
+    fn scan_sum_emulates_range_over_point_lookups() {
+        let (db, t) = db_one_table();
+        for k in 0..5 {
+            db.table(t).insert(k, &[k * 10, 0]).unwrap();
+        }
+        let tx = txn(
+            vec![
+                IrOp::ScanSum { table: t, start: Src::Const(2), count: 5, col: ColId(0), out: 0 },
+                IrOp::Update { table: t, key: Src::Const(0), col: ColId(1), val: Src::Reg(0) },
+            ],
+            vec![],
+        );
+        let fx = execute_serial(&db, &tx).unwrap();
+        // Keys 2,3,4 exist (20+30+40); 5,6 are misses.
+        assert_eq!(db.table(t).get(db.table(t).lookup(0).unwrap(), ColId(1)), 90);
+        assert_eq!(fx.reads.iter().filter(|r| r.col.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn rw_set_bytes_counts_all_accesses() {
+        let (db, t) = db_one_table();
+        db.table(t).insert(1, &[0, 0]).unwrap();
+        let tx = txn(
+            vec![
+                IrOp::Read { table: t, key: Src::Const(1), col: ColId(0), out: 0 },
+                IrOp::Update { table: t, key: Src::Const(1), col: ColId(1), val: Src::Const(2) },
+            ],
+            vec![],
+        );
+        let fx = execute_speculative(&db, &tx).unwrap();
+        assert_eq!(fx.rw_set_bytes(), 4 + 1 + 8);
+        assert_eq!(fx.cell_reads(), 1);
+    }
+}

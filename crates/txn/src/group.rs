@@ -1,0 +1,93 @@
+//! Adaptive warp division helpers (paper §V-B).
+//!
+//! LTPG assigns *collections of similar sub-transactions to worker warps*:
+//! a warp of 32 lanes should run 32 instances of the same procedure (or the
+//! same operation type), so the lanes share one instruction stream and
+//! never diverge. These helpers compute the lane orderings that realize
+//! that, plus the naive arrival ordering used as the ablation baseline.
+
+use crate::txn::Batch;
+
+/// Lane order that groups transactions by procedure (stable within a
+/// procedure by TID). With this permutation, a warp's 32 consecutive lanes
+/// run the same stored procedure — LTPG's adaptive warp division.
+pub fn order_by_proc(batch: &Batch) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..batch.txns.len()).collect();
+    idx.sort_by_key(|&i| (batch.txns[i].proc, batch.txns[i].tid));
+    idx
+}
+
+/// Lane order as the batch arrived (the "no warp division" ablation: warps
+/// mix procedure types and diverge).
+pub fn arrival_order(batch: &Batch) -> Vec<usize> {
+    (0..batch.txns.len()).collect()
+}
+
+/// How many of the `warp_size`-lane warps induced by `order` are uniform
+/// (single procedure). Diagnostic used by tests and the ablation bench.
+pub fn uniform_warp_fraction(batch: &Batch, order: &[usize], warp_size: usize) -> f64 {
+    if order.is_empty() {
+        return 1.0;
+    }
+    let mut uniform = 0usize;
+    let mut total = 0usize;
+    for chunk in order.chunks(warp_size) {
+        total += 1;
+        let first = batch.txns[chunk[0]].proc;
+        if chunk.iter().all(|&i| batch.txns[i].proc == first) {
+            uniform += 1;
+        }
+    }
+    uniform as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::{ProcId, TidGen, Txn};
+
+    fn mixed_batch(n: usize) -> Batch {
+        let mut gen = TidGen::new();
+        // Alternate two procedures, worst case for arrival-order warps.
+        let fresh = (0..n).map(|i| Txn::new(ProcId((i % 2) as u16), vec![], vec![])).collect();
+        Batch::assemble(vec![], fresh, &mut gen)
+    }
+
+    #[test]
+    fn proc_order_yields_uniform_warps() {
+        let b = mixed_batch(256);
+        let by_proc = order_by_proc(&b);
+        assert_eq!(uniform_warp_fraction(&b, &by_proc, 32), 1.0);
+        let arrival = arrival_order(&b);
+        assert_eq!(uniform_warp_fraction(&b, &arrival, 32), 0.0);
+    }
+
+    #[test]
+    fn proc_order_is_stable_by_tid_within_proc() {
+        let b = mixed_batch(64);
+        let ord = order_by_proc(&b);
+        let mut last = (ProcId(0), crate::txn::Tid(0));
+        for &i in &ord {
+            let cur = (b.txns[i].proc, b.txns[i].tid);
+            assert!(cur > last, "ordering must be strictly increasing by (proc, tid)");
+            last = cur;
+        }
+    }
+
+    #[test]
+    fn orders_are_permutations() {
+        let b = mixed_batch(100);
+        for ord in [order_by_proc(&b), arrival_order(&b)] {
+            let mut s = ord.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..100).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_batch_edge_cases() {
+        let b = Batch::default();
+        assert!(order_by_proc(&b).is_empty());
+        assert_eq!(uniform_warp_fraction(&b, &[], 32), 1.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Zipfian sampling over `1..=n`.
+//!
+//! The paper's YCSB runs use a Zipfian distribution with α = 2.5 — far
+//! steeper than the θ < 1 regime YCSB's stock generator (Gray's algorithm)
+//! covers. We therefore implement both:
+//!
+//! * α > 1: Devroye's rejection method for the (unbounded) Zipf law,
+//!   truncated to `n` by resampling — the tail mass beyond any realistic
+//!   `n` is negligible at these exponents, so acceptance is high.
+//! * α ≤ 1: Gray et al.'s method with precomputed `ζ(n, α)` (the classic
+//!   YCSB generator).
+//!
+//! `sample_scrambled` applies YCSB's "scrambled zipfian" trick: ranks are
+//! hashed onto the keyspace so the hot keys are spread uniformly while each
+//! rank keeps hitting the *same* key (contention is preserved).
+
+use rand::Rng;
+
+/// A Zipfian sampler over ranks `1..=n` with exponent `alpha`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    alpha: f64,
+    /// Devroye constant `b = 2^(alpha-1)` (alpha > 1 path).
+    b: f64,
+    /// Gray-method state (alpha ≤ 1 path).
+    gray: Option<Gray>,
+}
+
+#[derive(Debug, Clone)]
+struct Gray {
+    zetan: f64,
+    theta: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+impl Zipf {
+    /// Create a sampler. `n ≥ 1`; `alpha ≥ 0` (`alpha = 0` is uniform).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1, "zipf over empty domain");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "invalid zipf exponent");
+        let gray = if alpha <= 1.0 {
+            let zetan = zeta(n, alpha);
+            let zeta2 = zeta(2.min(n), alpha);
+            let eta = if n > 1 {
+                (1.0 - (2.0 / n as f64).powf(1.0 - alpha)) / (1.0 - zeta2 / zetan)
+            } else {
+                1.0
+            };
+            Some(Gray { zetan, theta: alpha, eta, zeta2 })
+        } else {
+            None
+        };
+        Zipf { n, alpha, b: 2f64.powf(alpha - 1.0), gray }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Draw a rank in `1..=n` (rank 1 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match &self.gray {
+            Some(g) => self.sample_gray(g, rng),
+            None => self.sample_devroye(rng),
+        }
+    }
+
+    fn sample_devroye<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let s = self.alpha;
+        loop {
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let v: f64 = rng.gen();
+            let x = u.powf(-1.0 / (s - 1.0)).floor();
+            if x < 1.0 || x > self.n as f64 {
+                continue; // truncate to [1, n]
+            }
+            let t = (1.0 + 1.0 / x).powf(s - 1.0);
+            if v * x * (t - 1.0) / (self.b - 1.0) <= t / self.b {
+                return x as u64;
+            }
+        }
+    }
+
+    fn sample_gray<R: Rng + ?Sized>(&self, g: &Gray, rng: &mut R) -> u64 {
+        if g.theta == 0.0 {
+            // Degenerate Zipf is uniform; Gray's approximation is biased here.
+            return rng.gen_range(1..=self.n);
+        }
+        let u: f64 = rng.gen();
+        let uz = u * g.zetan;
+        // YCSB/Gray produces a 0-based item; ranks here are 1-based.
+        if uz < 1.0 {
+            return 1;
+        }
+        if self.n >= 2 && uz < 1.0 + 0.5f64.powf(g.theta) {
+            return 2;
+        }
+        let _ = g.zeta2;
+        let item =
+            (self.n as f64 * (g.eta * u - g.eta + 1.0).powf(1.0 / (1.0 - g.theta))) as u64;
+        (item + 1).clamp(1, self.n)
+    }
+
+    /// Draw a rank and scramble it onto `1..=n` (rank→key is a fixed
+    /// pseudorandom bijection-like map; collisions possible but rare).
+    pub fn sample_scrambled<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let rank = self.sample(rng);
+        1 + ltpg_mix(rank) % self.n
+    }
+}
+
+/// splitmix64 finalizer (same mix as the storage index).
+fn ltpg_mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn freq_of_rank1(n: u64, alpha: f64, draws: usize) -> f64 {
+        let z = Zipf::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(42);
+        let hits = (0..draws).filter(|_| z.sample(&mut rng) == 1).count();
+        hits as f64 / draws as f64
+    }
+
+    #[test]
+    fn alpha_2_5_concentrates_on_rank_one() {
+        // P(rank 1) = 1/ζ(2.5) ≈ 0.745 for large n.
+        let f = freq_of_rank1(100_000, 2.5, 40_000);
+        assert!((f - 0.745).abs() < 0.02, "rank-1 frequency {f}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        for alpha in [0.0, 0.5, 0.99, 1.5, 2.5] {
+            let z = Zipf::new(50, alpha);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..5_000 {
+                let s = z.sample(&mut rng);
+                assert!((1..=50).contains(&s), "alpha {alpha} sampled {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 11];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate().skip(1) {
+            let f = c as f64 / 50_000.0;
+            assert!((f - 0.1).abs() < 0.03, "key {k} frequency {f}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_rank() {
+        let z = Zipf::new(1_000, 2.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 6];
+        for _ in 0..100_000 {
+            let s = z.sample(&mut rng);
+            if s <= 5 {
+                counts[s as usize] += 1;
+            }
+        }
+        assert!(counts[1] > counts[2]);
+        assert!(counts[2] > counts[3]);
+        // Ratio rank1/rank2 ≈ 2^2.5 ≈ 5.66.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 5.66).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn scrambled_sampling_preserves_hot_key_identity() {
+        let z = Zipf::new(10_000, 2.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = std::collections::HashMap::<u64, usize>::new();
+        for _ in 0..20_000 {
+            *counts.entry(z.sample_scrambled(&mut rng)).or_default() += 1;
+        }
+        // One scrambled key should carry ≈74 % of mass.
+        let max = counts.values().max().copied().unwrap();
+        assert!(max as f64 / 20_000.0 > 0.7);
+        // ... and it should not be key 1 (scrambling moved it).
+        let hottest = counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
+        assert_ne!(*hottest, 1);
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let z = Zipf::new(1, 2.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(z.sample(&mut rng), 1);
+        let z0 = Zipf::new(1, 0.5);
+        assert_eq!(z0.sample(&mut rng), 1);
+    }
+}

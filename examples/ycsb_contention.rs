@@ -1,0 +1,51 @@
+//! Contention explorer: YCSB-A under different Zipfian exponents.
+//!
+//! The paper runs YCSB with α = 2.5 — extreme skew where ~74 % of accesses
+//! hit one key. This example sweeps the exponent and shows how LTPG's
+//! commit rate and throughput respond: deterministic OCC trades aborts for
+//! parallelism, so skew shows up as aborts, not as lock convoys.
+//!
+//! Run with: `cargo run --release -p ltpg --example ycsb_contention`
+
+use ltpg::{LtpgConfig, LtpgEngine, OptFlags};
+use ltpg_txn::{Batch, BatchEngine, TidGen};
+use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+
+fn main() {
+    let records = 100_000u64;
+    let batch_size = 4_096usize;
+    println!("YCSB-A (50% read / 50% update), {records} rows, batch {batch_size}");
+    println!("{:>6} {:>12} {:>12} {:>10}", "alpha", "commit rate", "latency us", "MTPS");
+
+    for alpha in [0.0, 0.8, 1.5, 2.5] {
+        let cfg = YcsbConfig::new(YcsbWorkload::A, records)
+            .with_alpha(alpha)
+            .with_headroom(1_024);
+        let (db, _table, mut gen) = YcsbGenerator::new(cfg);
+        let mut lcfg = LtpgConfig::with_opts(OptFlags::all());
+        lcfg.max_batch = batch_size;
+        let mut engine = LtpgEngine::new(db, lcfg);
+        let mut tids = TidGen::new();
+
+        let mut committed = 0usize;
+        let mut sim_ns = 0.0;
+        let mut rate = 0.0;
+        let batches = 3;
+        for _ in 0..batches {
+            let batch = Batch::assemble(vec![], gen.gen_batch(batch_size), &mut tids);
+            let report = engine.execute_batch(&batch);
+            committed += report.committed.len();
+            sim_ns += report.sim_ns;
+            rate += report.commit_rate(batch.len());
+        }
+        println!(
+            "{:>6.1} {:>11.1}% {:>12.0} {:>10.2}",
+            alpha,
+            100.0 * rate / batches as f64,
+            sim_ns / batches as f64 / 1e3,
+            committed as f64 / (sim_ns * 1e-9) / 1e6,
+        );
+    }
+    println!("\nhigher skew -> more write-write collisions on the hot keys -> lower commit rate;");
+    println!("the engine never blocks, so latency stays flat while aborts re-queue.");
+}
