@@ -42,7 +42,7 @@ pub use aria::AriaEngine;
 pub use bamboo::BambooEngine;
 pub use bohm::BohmEngine;
 pub use calvin::CalvinEngine;
-pub use cpu::CpuCostModel;
+pub use cpu::{CpuCostModel, CpuFallbackConfig, CpuFallbackEngine};
 pub use dbx1000::Dbx1000Engine;
 pub use gacco::GaccoEngine;
 pub use gputx::GputxEngine;

@@ -26,7 +26,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ltpg_gpu_sim::{Device, SimAtomicU32};
+use ltpg_gpu_sim::{Device, DeviceError, SimAtomicU32};
 use ltpg_storage::{membership_partition, ColId, Database, TableError, TableId, MEMBERSHIP_PARTITION_SHIFT};
 use ltpg_txn::exec::{execute_speculative, Mutation, TxnEffects};
 use ltpg_txn::group::{arrival_order, order_by_proc};
@@ -134,7 +134,31 @@ impl LtpgEngine {
 
     /// Execute one batch and return the report with the full phase
     /// breakdown.
+    ///
+    /// Infallible variant for callers that never arm a device fault plan.
     pub fn execute_batch_report(&mut self, batch: &Batch) -> ReportWithStats {
+        // Invariant: with no fault plan armed (the default), the device's
+        // fallible APIs cannot fail, so this cannot panic. Callers that
+        // arm faults must use `try_execute_batch_report`.
+        self.try_execute_batch_report(batch)
+            .expect("device fault with no fault-aware caller: use try_execute_batch_report")
+    }
+
+    /// Execute one batch, surfacing injected device faults.
+    ///
+    /// Failure atomicity is *not* promised: a [`DeviceError::DeviceLost`]
+    /// can land mid-batch (between phase kernels or at the result
+    /// download), leaving the live database partially written. That is
+    /// exactly the crash model the durability layer handles — the batch
+    /// was logged before execution, so replaying checkpoint + log on a
+    /// healthy executor reconstructs the correct state
+    /// (see `crate::recovery::DurabilityManager`). A
+    /// [`DeviceError::TransientTransfer`] before the execute phase leaves
+    /// the database untouched and the whole call may simply be retried.
+    pub fn try_execute_batch_report(
+        &mut self,
+        batch: &Batch,
+    ) -> Result<ReportWithStats, DeviceError> {
         let wall_start = Instant::now();
         let mut stats = LtpgBatchStats::default();
         let n = batch.len();
@@ -142,7 +166,7 @@ impl LtpgEngine {
 
         // ---- Upload: transaction parameters to the device. ----
         stats.bytes_h2d = batch.payload_bytes();
-        stats.h2d_ns = self.device.h2d(stats.bytes_h2d);
+        stats.h2d_ns = self.device.try_h2d(stats.bytes_h2d)?;
 
         // ---- Phase 1: execute. ----
         let lane_order = if self.cfg.opts.warp_division {
@@ -154,6 +178,7 @@ impl LtpgEngine {
         let flags: Vec<SimAtomicU32> = (0..n).map(|_| SimAtomicU32::new(0)).collect();
 
         let lane_proc_overhead = self.device.cost().proc_overhead_cycles;
+        self.device.check_alive()?;
         let exec_report = self.device.launch("execute", &lane_order, |lane, &idx| {
             let txn = &batch.txns[idx];
             lane.branch(u32::from(txn.proc.0));
@@ -374,6 +399,7 @@ impl LtpgEngine {
             // rcheck warps and wcheck warps (Algorithm 1 lines 13–16).
             items.sort_by_key(|i| i.is_write);
         }
+        self.device.check_alive()?;
         let detect_report = self.device.launch("conflict_d", &items, |lane, item| {
             lane.branch(u32::from(item.is_write));
             let tid = batch.txns[item.txn as usize].tid.0;
@@ -412,6 +438,7 @@ impl LtpgEngine {
                 f & flag::RAW == 0
             }
         };
+        self.device.check_alive()?;
         let wb_report = self.device.launch("writeback", &lane_order, |lane, &idx| {
             let txn = &batch.txns[idx];
             lane.branch(u32::from(txn.proc.0));
@@ -442,9 +469,18 @@ impl LtpgEngine {
                         lane.write_global_random(values.len() as u32 + 1);
                         match self.db.table(*table).insert(*key, values) {
                             Ok(_) => {}
+                            // Invariant: two committed inserts of one key
+                            // would be a WAW pair, and WAW always aborts
+                            // the younger — a duplicate here means the
+                            // conflict log itself is broken, not the input.
                             Err(TableError::Duplicate(_)) => unreachable!(
                                 "committed duplicate insert: WAW detection failed for key {key}"
                             ),
+                            // Invariant: capacity is provisioned at load
+                            // time (TableBuilder::capacity) to cover the
+                            // workload's maximum insert headroom; running
+                            // out mid-writeback is a sizing bug, and there
+                            // is no transactional way to un-commit here.
                             Err(TableError::Full) => panic!(
                                 "table {} out of insert headroom",
                                 self.db.table(*table).schema().name
@@ -521,7 +557,18 @@ impl LtpgEngine {
             }
             SyncMode::Interval { bytes_per_batch } => n as u64 + bytes_per_batch,
         };
-        stats.d2h_ns = self.device.d2h(stats.bytes_d2h);
+        // By this point the batch has fully executed on the device; a
+        // transient fault here only repeats the copy (re-running the batch
+        // would double-apply its writes), so the retry happens in place.
+        // Terminates because a plan's transient set is finite and loss
+        // dominates. Device loss still propagates.
+        stats.d2h_ns = loop {
+            match self.device.try_d2h(stats.bytes_d2h) {
+                Ok(ns) => break ns,
+                Err(e @ DeviceError::DeviceLost { .. }) => return Err(e),
+                Err(DeviceError::TransientTransfer { .. }) => stats.d2h_retries += 1,
+            }
+        };
 
         // ---- Counters and report assembly. ----
         stats.atomic_ops = exec_report.atomic_ops + detect_report.atomic_ops;
@@ -549,7 +596,7 @@ impl LtpgEngine {
             wall_ns: wall_start.elapsed().as_nanos() as u64,
             semantics: ltpg_txn::engine::CommitSemantics::SnapshotBatch,
         };
-        ReportWithStats { report, stats }
+        Ok(ReportWithStats { report, stats })
     }
 }
 

@@ -1,0 +1,266 @@
+//! Seeded, deterministic fault planning.
+//!
+//! Crash-recovery confidence comes from *sweeps*: many runs, each with a
+//! different but fully reproducible failure schedule. A [`FaultPlan`] is
+//! that schedule — derived from a single `u64` seed by a splitmix64
+//! stream, so every run with the same seed injects exactly the same
+//! faults at exactly the same points. The plan covers all three failure
+//! surfaces this crate models:
+//!
+//! - **device faults** — transient transfer failures and a hard device
+//!   loss, expressed as an [`ltpg_gpu_sim::DeviceFaultPlan`] keyed by the
+//!   device's fallible-operation ordinal;
+//! - **WAL damage** — frame corruption (bit flips in a frame body, caught
+//!   by the per-frame CRC) and torn tails (the last frame partially
+//!   written at crash time);
+//! - **a crashpoint** — the batch boundary at which the simulated process
+//!   is killed.
+//!
+//! A [`FaultInjector`] applies the plan: it arms the device schedule,
+//! damages a [`BatchLog`]'s disk image, and answers "should the process
+//! die after this batch?". Nothing here consults a clock or an external
+//! RNG; the plan is pure data.
+
+use std::collections::BTreeSet;
+
+use ltpg_gpu_sim::DeviceFaultPlan;
+use ltpg_storage::BatchLog;
+
+/// splitmix64: the standard 64-bit mix, good enough to decorrelate the
+/// handful of draws a plan needs and trivially reproducible everywhere.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One scheduled piece of WAL damage, applied to the disk image at
+/// crash time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalDamage {
+    /// XOR one byte inside the body of frame `frame_index` (modulo the
+    /// number of frames present when applied). The frame's CRC no longer
+    /// matches, so recovery reports a checksum mismatch.
+    CorruptFrame {
+        /// Index of the frame to damage (wrapped into range at apply time).
+        frame_index: usize,
+        /// Non-zero XOR mask for the damaged byte.
+        xor: u8,
+    },
+    /// Drop the last `drop_bytes` bytes of the image — the torn tail of a
+    /// frame that was mid-write when the process died.
+    TearTail {
+        /// How many trailing bytes to drop (clamped at apply time).
+        drop_bytes: usize,
+    },
+}
+
+/// What actually happened when a plan's WAL damage was applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalDamageReport {
+    /// Frames whose body was corrupted.
+    pub frames_corrupted: u64,
+    /// Bytes dropped from the tail.
+    pub bytes_torn: u64,
+}
+
+/// Rough bounds the generator draws within; see [`FaultPlan::from_seed`].
+#[derive(Debug, Clone, Copy)]
+pub struct FaultHorizon {
+    /// Approximate number of fallible device operations the workload will
+    /// perform (5 per batch: upload, three liveness checks, download).
+    pub device_ops: u64,
+    /// Approximate number of batches the workload will run.
+    pub batches: u64,
+}
+
+impl FaultHorizon {
+    /// Horizon for a workload of `batches` batches with no retries.
+    pub fn for_batches(batches: u64) -> Self {
+        FaultHorizon { device_ops: batches.saturating_mul(5).max(1), batches: batches.max(1) }
+    }
+}
+
+/// A complete, seed-derived failure schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed this plan was derived from.
+    pub seed: u64,
+    /// Device-side schedule (transient transfer faults, hard loss).
+    pub device: DeviceFaultPlan,
+    /// WAL damage to apply at crash time.
+    pub wal: Vec<WalDamage>,
+    /// Kill the process after this many batches have executed, if set.
+    pub kill_after_batch: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn quiet(seed: u64) -> Self {
+        FaultPlan { seed, device: DeviceFaultPlan::none(), wal: Vec::new(), kill_after_batch: None }
+    }
+
+    /// Derive a plan from `seed`. Every draw comes from one splitmix64
+    /// stream, so the mapping seed → plan is a pure function. The
+    /// generator mixes failure classes rather than always scheduling all
+    /// of them: roughly half the seeds get transient transfer faults,
+    /// half get a crashpoint, and independently ~half of the crashing
+    /// seeds also lose the device / tear the WAL tail / corrupt a frame.
+    pub fn from_seed(seed: u64, horizon: FaultHorizon) -> Self {
+        let mut s = seed ^ 0xD6E8_FEB8_6659_FD93;
+        let ops = horizon.device_ops.max(1);
+        let batches = horizon.batches.max(1);
+
+        let mut transient_ops = BTreeSet::new();
+        if splitmix64(&mut s) & 1 == 0 {
+            let n = 1 + splitmix64(&mut s) % 3;
+            for _ in 0..n {
+                transient_ops.insert(splitmix64(&mut s) % ops);
+            }
+        }
+        let kill_after_batch =
+            (splitmix64(&mut s) & 1 == 0).then(|| splitmix64(&mut s) % batches);
+        let mut lost_at_op = None;
+        let mut wal = Vec::new();
+        if kill_after_batch.is_some() {
+            if splitmix64(&mut s) & 1 == 0 {
+                lost_at_op = Some(splitmix64(&mut s) % ops);
+            }
+            if splitmix64(&mut s) & 1 == 0 {
+                wal.push(WalDamage::TearTail {
+                    drop_bytes: 1 + (splitmix64(&mut s) % 64) as usize,
+                });
+            }
+            if splitmix64(&mut s).is_multiple_of(4) {
+                wal.push(WalDamage::CorruptFrame {
+                    frame_index: splitmix64(&mut s) as usize,
+                    xor: (1 + splitmix64(&mut s) % 255) as u8,
+                });
+            }
+        }
+        FaultPlan {
+            seed,
+            device: DeviceFaultPlan { transient_ops, lost_at_op },
+            wal,
+            kill_after_batch,
+        }
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_quiet(&self) -> bool {
+        self.device.is_empty() && self.wal.is_empty() && self.kill_after_batch.is_none()
+    }
+}
+
+/// Applies a [`FaultPlan`] to the system under test.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wrap a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The device-side schedule, for [`crate::LtpgServer::arm_faults`] or
+    /// [`ltpg_gpu_sim::Device::arm_faults`].
+    pub fn device_plan(&self) -> DeviceFaultPlan {
+        self.plan.device.clone()
+    }
+
+    /// Should the simulated process be killed after `batch_index` (0-based)
+    /// batches have executed?
+    pub fn should_kill_after_batch(&self, batch_index: u64) -> bool {
+        self.plan.kill_after_batch == Some(batch_index)
+    }
+
+    /// Apply the plan's WAL damage to `log`'s disk image (the injected
+    /// analogue of what a crash does to a half-flushed file). Damage that
+    /// cannot land — a frame index beyond the log, a tear longer than the
+    /// image — is clamped, never an error.
+    pub fn damage_wal(&self, log: &BatchLog) -> WalDamageReport {
+        let mut report = WalDamageReport::default();
+        for d in &self.plan.wal {
+            match *d {
+                WalDamage::CorruptFrame { frame_index, xor } => {
+                    let frames = log.frame_spans().len();
+                    if frames > 0 && log.corrupt_frame(frame_index % frames, xor.max(1)) {
+                        report.frames_corrupted += 1;
+                    }
+                }
+                WalDamage::TearTail { drop_bytes } => {
+                    report.bytes_torn += log.tear_tail(drop_bytes) as u64;
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_in_the_seed() {
+        let h = FaultHorizon::for_batches(20);
+        for seed in 0..200 {
+            assert_eq!(FaultPlan::from_seed(seed, h), FaultPlan::from_seed(seed, h));
+        }
+    }
+
+    #[test]
+    fn seed_sweep_covers_every_failure_class() {
+        let h = FaultHorizon::for_batches(20);
+        let plans: Vec<FaultPlan> = (0..64).map(|s| FaultPlan::from_seed(s, h)).collect();
+        assert!(plans.iter().any(|p| !p.device.transient_ops.is_empty()));
+        assert!(plans.iter().any(|p| p.device.lost_at_op.is_some()));
+        assert!(plans.iter().any(|p| p.kill_after_batch.is_some()));
+        assert!(plans
+            .iter()
+            .any(|p| p.wal.iter().any(|d| matches!(d, WalDamage::TearTail { .. }))));
+        assert!(plans
+            .iter()
+            .any(|p| p.wal.iter().any(|d| matches!(d, WalDamage::CorruptFrame { .. }))));
+        assert!(plans.iter().any(|p| p.is_quiet()), "some seeds must be fault-free controls");
+    }
+
+    #[test]
+    fn quiet_plan_is_quiet() {
+        let p = FaultPlan::quiet(7);
+        assert!(p.is_quiet());
+        let inj = FaultInjector::new(p);
+        assert!(!inj.should_kill_after_batch(0));
+        let log = BatchLog::new();
+        assert_eq!(inj.damage_wal(&log), WalDamageReport::default());
+    }
+
+    #[test]
+    fn damage_clamps_to_log_contents() {
+        let log = BatchLog::new();
+        log.append(vec![1, 2], bytes::Bytes::from_static(b"payload"));
+        let inj = FaultInjector::new(FaultPlan {
+            seed: 0,
+            device: DeviceFaultPlan::none(),
+            wal: vec![
+                WalDamage::CorruptFrame { frame_index: 999, xor: 0xFF },
+                WalDamage::TearTail { drop_bytes: 1_000_000 },
+            ],
+            kill_after_batch: None,
+        });
+        let image_len = log.disk_len() as u64;
+        let report = inj.damage_wal(&log);
+        assert_eq!(report.frames_corrupted, 1, "frame index wraps into range");
+        assert_eq!(report.bytes_torn, image_len, "a tear longer than the image drops all of it");
+        assert_eq!(log.disk_len(), 0);
+    }
+}

@@ -64,6 +64,7 @@
 pub mod config;
 pub mod conflict;
 pub mod engine;
+pub mod faults;
 pub mod pipeline;
 pub mod recovery;
 pub mod server;
@@ -73,7 +74,10 @@ mod util;
 pub use config::{LtpgConfig, OptFlags, SyncMode};
 pub use conflict::ConflictLog;
 pub use engine::LtpgEngine;
+pub use faults::{FaultHorizon, FaultInjector, FaultPlan, WalDamage, WalDamageReport};
 pub use pipeline::{PipelineOutcome, PipelinedRunner};
-pub use recovery::DurabilityManager;
-pub use server::{LtpgServer, ServerConfig, ServerStats};
-pub use stats::LtpgBatchStats;
+pub use recovery::{
+    DurabilityManager, RecoveryError, RecoveryOptions, RecoveryOutcome, RecoveryStats, TailPolicy,
+};
+pub use server::{BatchSummary, LtpgServer, ServerConfig, ServerError, ServerStats};
+pub use stats::{FaultStats, LtpgBatchStats};

@@ -6,15 +6,37 @@
 //! aborted transactions for a later batch (two batches later under the
 //! pipeline model, §V-E). [`LtpgServer`] packages that loop behind a
 //! submit/tick/drain API so applications never touch batch assembly.
+//!
+//! ## Fault handling
+//!
+//! The server is the fault boundary. Each tick logs the batch *before*
+//! executing it, then runs it through the active executor:
+//!
+//! - a **transient transfer fault** on upload aborts the attempt before
+//!   the device touches anything, so the server retries the whole batch —
+//!   up to [`ServerConfig::max_transient_retries`] times, charging
+//!   exponential backoff to simulated time;
+//! - **device loss** (or retry exhaustion) triggers graceful degradation:
+//!   the server rebuilds the pre-batch state from checkpoint + log on the
+//!   deterministic CPU fallback executor, replays the in-flight batch
+//!   there, and keeps serving. Determinism makes the hand-off invisible:
+//!   the fallback derives bit-identical commit decisions, so clients see
+//!   the same history, only slower.
+//!
+//! Counters for all of this are in [`FaultStats`] via
+//! [`LtpgServer::stats`].
 
 use std::collections::VecDeque;
 
+use ltpg_baselines::CpuFallbackEngine;
+use ltpg_gpu_sim::{DeviceError, DeviceFaultPlan};
 use ltpg_storage::Database;
 use ltpg_txn::{Batch, BatchEngine, Tid, TidGen, Txn};
 
 use crate::config::LtpgConfig;
 use crate::engine::LtpgEngine;
-use crate::recovery::{DurabilityManager, RecoveryError};
+use crate::recovery::{DurabilityManager, RecoveryError, RecoveryOptions};
+use crate::stats::FaultStats;
 
 /// Server policy knobs.
 #[derive(Debug, Clone)]
@@ -29,11 +51,22 @@ pub struct ServerConfig {
     /// Take a durability checkpoint every `n` batches (None = only the
     /// initial checkpoint).
     pub checkpoint_every: Option<usize>,
+    /// How many times to re-issue a batch whose upload failed transiently
+    /// before declaring the device unusable.
+    pub max_transient_retries: u32,
+    /// Simulated backoff before the first retry, ns; doubles per attempt.
+    pub retry_backoff_ns: f64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { batch_size: 1 << 12, pipelined: true, checkpoint_every: None }
+        ServerConfig {
+            batch_size: 1 << 12,
+            pipelined: true,
+            checkpoint_every: None,
+            max_transient_retries: 4,
+            retry_backoff_ns: 5_000.0,
+        }
     }
 }
 
@@ -51,6 +84,8 @@ pub struct ServerStats {
     pub abort_events: u64,
     /// Total simulated device time, ns.
     pub sim_ns: f64,
+    /// Fault-handling counters (all zero in fault-free operation).
+    pub faults: FaultStats,
 }
 
 /// Outcome of one [`LtpgServer::tick`].
@@ -60,15 +95,69 @@ pub struct BatchSummary {
     pub committed: Vec<Tid>,
     /// TIDs aborted (scheduled for re-execution).
     pub aborted: Vec<Tid>,
-    /// Simulated batch latency, ns.
+    /// Simulated batch latency, ns (including any retry backoff).
     pub sim_ns: f64,
 }
 
-/// A batching OLTP server over one [`LtpgEngine`].
+/// A fault the server could not absorb.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The device was lost and rebuilding state on the CPU fallback also
+    /// failed — the log itself is damaged beyond the torn-tail case.
+    DegradationFailed(RecoveryError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::DegradationFailed(e) => {
+                write!(f, "device lost and CPU degradation failed: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::DegradationFailed(e) => Some(e),
+        }
+    }
+}
+
+/// The executor currently serving batches.
+enum Executor {
+    /// Normal operation: the (simulated) GPU engine.
+    Gpu(Box<LtpgEngine>),
+    /// Degraded operation after device loss: the serial CPU twin.
+    Cpu(Box<CpuFallbackEngine>),
+}
+
+impl Executor {
+    fn database(&self) -> &Database {
+        match self {
+            Executor::Gpu(e) => e.database(),
+            Executor::Cpu(e) => e.database(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Executor::Gpu(e) => e.name(),
+            Executor::Cpu(e) => e.name(),
+        }
+    }
+}
+
+/// A batching OLTP server over one [`LtpgEngine`], degrading to a
+/// [`CpuFallbackEngine`] if the device is lost.
 pub struct LtpgServer {
-    engine: LtpgEngine,
+    executor: Executor,
     durability: DurabilityManager,
     cfg: ServerConfig,
+    /// Engine configuration, kept for recovery replays and the fallback
+    /// hand-off.
+    engine_cfg: LtpgConfig,
     tids: TidGen,
     /// Fresh client submissions.
     inbox: VecDeque<Txn>,
@@ -84,9 +173,10 @@ impl LtpgServer {
         assert!(cfg.batch_size > 0, "batch size must be positive");
         let durability = DurabilityManager::new(&db);
         LtpgServer {
-            engine: LtpgEngine::new(db, engine_cfg),
+            executor: Executor::Gpu(Box::new(LtpgEngine::new(db, engine_cfg.clone()))),
             durability,
             cfg,
+            engine_cfg,
             tids: TidGen::new(),
             inbox: VecDeque::new(),
             requeue: VecDeque::new(),
@@ -114,7 +204,7 @@ impl LtpgServer {
 
     /// The live database.
     pub fn database(&self) -> &Database {
-        self.engine.database()
+        self.executor.database()
     }
 
     /// Cumulative statistics.
@@ -122,9 +212,36 @@ impl LtpgServer {
         &self.stats
     }
 
+    /// Name of the executor currently serving batches (`"LTPG"` normally,
+    /// `"LTPG-CPU-fallback"` after degradation).
+    pub fn executor_name(&self) -> &'static str {
+        self.executor.name()
+    }
+
+    /// Whether the server has degraded to the CPU fallback executor.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.executor, Executor::Cpu(_))
+    }
+
     /// The durability manager (checkpoint/log inspection, recovery).
     pub fn durability(&self) -> &DurabilityManager {
         &self.durability
+    }
+
+    /// Arm a deterministic device-fault schedule (testing / chaos drills).
+    /// No-op when already degraded to the CPU executor.
+    pub fn arm_faults(&self, plan: DeviceFaultPlan) {
+        if let Executor::Gpu(engine) = &self.executor {
+            engine.device().arm_faults(plan);
+        }
+    }
+
+    /// Force the device into its failed state at the next batch boundary
+    /// (the hard-crashpoint drill).
+    pub fn force_device_failure(&self) {
+        if let Executor::Gpu(engine) = &self.executor {
+            engine.device().fail_now();
+        }
     }
 
     /// Rebuild a database from the last checkpoint + log (what a restarted
@@ -134,18 +251,104 @@ impl LtpgServer {
         self.durability.recover(cfg)
     }
 
+    /// Abandon the device: rebuild the pre-batch state on the CPU fallback
+    /// by replaying checkpoint + log up to (excluding) `batch_id`, then
+    /// install it as the executor.
+    fn degrade_to_cpu(&mut self, batch_id: u64) -> Result<&mut CpuFallbackEngine, ServerError> {
+        let mut cpu = CpuFallbackEngine::new(
+            self.durability.checkpoint_image(),
+            self.engine_cfg.fallback_config(),
+        );
+        let replay = self
+            .durability
+            .replay_onto(&mut cpu, &RecoveryOptions::default(), Some(batch_id))
+            .map_err(ServerError::DegradationFailed)?;
+        self.stats.faults.fallback_activations += 1;
+        if replay.torn_tail {
+            self.stats.faults.frames_truncated += 1;
+            self.stats.faults.bytes_truncated += replay.bytes_truncated;
+        }
+        self.executor = Executor::Cpu(Box::new(cpu));
+        match &mut self.executor {
+            Executor::Cpu(e) => Ok(e),
+            // Invariant: assigned one line above.
+            Executor::Gpu(_) => unreachable!("executor was just set to Cpu"),
+        }
+    }
+
+    /// Execute `batch` (already logged as `batch_id`) on the active
+    /// executor, absorbing transient faults and degrading on device loss.
+    fn execute_resilient(
+        &mut self,
+        batch: &Batch,
+        batch_id: u64,
+    ) -> Result<(ltpg_txn::BatchReport, f64), ServerError> {
+        let mut backoff_ns = 0.0;
+        if let Executor::Gpu(engine) = &mut self.executor {
+            let mut attempt = 0u32;
+            loop {
+                match engine.try_execute_batch_report(batch) {
+                    Ok(r) => {
+                        self.stats.faults.transient_retries += r.stats.d2h_retries;
+                        return Ok((r.report, backoff_ns));
+                    }
+                    // Upload failed before the device touched anything:
+                    // the batch never ran, so re-issuing it is safe.
+                    Err(DeviceError::TransientTransfer { .. })
+                        if attempt < self.cfg.max_transient_retries =>
+                    {
+                        attempt += 1;
+                        self.stats.faults.transient_retries += 1;
+                        let pause =
+                            self.cfg.retry_backoff_ns * f64::from(1u32 << (attempt - 1));
+                        backoff_ns += pause;
+                        self.stats.faults.backoff_ns += pause;
+                    }
+                    // Device loss, or a device so flaky retries ran out:
+                    // degrade. The batch is already logged, so the replay
+                    // bound `batch_id` rebuilds exactly the pre-batch
+                    // state regardless of where mid-batch the device died.
+                    Err(_) => break,
+                }
+            }
+        }
+        let cpu = match &mut self.executor {
+            Executor::Cpu(e) => e,
+            Executor::Gpu(_) => self.degrade_to_cpu(batch_id)?,
+        };
+        Ok((cpu.execute_batch(batch), backoff_ns))
+    }
+
     /// Form and execute one batch. Returns `None` when the server is
     /// fully idle. An empty summary is returned when nothing is due *yet*
     /// but aborted transactions are waiting out their re-entry delay (the
     /// tick advances the delay clock).
+    ///
+    /// # Panics
+    ///
+    /// If degradation after device loss fails because the log is damaged
+    /// beyond the torn-tail case. Fault-injecting callers use
+    /// [`try_tick`](Self::try_tick).
     pub fn tick(&mut self) -> Option<BatchSummary> {
+        // Invariant: with an undamaged log (nothing corrupts it but
+        // injection), degradation replay cannot fail.
+        self.try_tick().expect("WAL damaged while serving: use try_tick")
+    }
+
+    /// [`tick`](Self::tick), surfacing unabsorbable faults as typed
+    /// errors instead of panicking.
+    pub fn try_tick(&mut self) -> Result<Option<BatchSummary>, ServerError> {
         let due = self.requeue.pop_front().unwrap_or_default();
         if due.is_empty() && self.inbox.is_empty() {
             if self.requeue.iter().all(Vec::is_empty) {
-                return None; // fully idle
+                return Ok(None); // fully idle
             }
             // Work is in a later delay slot: this tick just passes time.
-            return Some(BatchSummary { committed: Vec::new(), aborted: Vec::new(), sim_ns: 0.0 });
+            return Ok(Some(BatchSummary {
+                committed: Vec::new(),
+                aborted: Vec::new(),
+                sim_ns: 0.0,
+            }));
         }
         let mut fresh = Vec::new();
         while fresh.len() + due.len() < self.cfg.batch_size {
@@ -155,16 +358,16 @@ impl LtpgServer {
             }
         }
         let batch = Batch::assemble(due, fresh, &mut self.tids);
-        self.durability.log_batch(&batch);
-        let report = self.engine.execute_batch(&batch);
+        let batch_id = self.durability.log_batch(&batch);
+        let (report, backoff_ns) = self.execute_resilient(&batch, batch_id)?;
 
         self.stats.batches += 1;
         self.stats.committed += report.committed.len() as u64;
         self.stats.abort_events += report.aborted.len() as u64;
-        self.stats.sim_ns += report.sim_ns;
+        self.stats.sim_ns += report.sim_ns + backoff_ns;
         if let Some(every) = self.cfg.checkpoint_every {
-            if self.stats.batches % every as u64 == 0 {
-                self.durability.checkpoint(self.engine.database());
+            if self.stats.batches.is_multiple_of(every as u64) {
+                self.durability.checkpoint(self.executor.database());
             }
         }
 
@@ -181,11 +384,11 @@ impl LtpgServer {
                 .collect();
             self.requeue[delay - 1].extend(retry);
         }
-        Some(BatchSummary {
+        Ok(Some(BatchSummary {
             committed: report.committed,
             aborted: report.aborted,
-            sim_ns: report.sim_ns,
-        })
+            sim_ns: report.sim_ns + backoff_ns,
+        }))
     }
 
     /// Run batches until every admitted transaction has committed (or
@@ -205,6 +408,7 @@ impl LtpgServer {
 impl std::fmt::Debug for LtpgServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LtpgServer")
+            .field("executor", &self.executor.name())
             .field("pending", &self.pending())
             .field("stats", &self.stats)
             .finish()
@@ -240,30 +444,31 @@ mod tests {
         (db, txns)
     }
 
+    fn small_server(db: Database, batch_size: usize, pipelined: bool) -> LtpgServer {
+        LtpgServer::new(
+            db,
+            LtpgConfig::default(),
+            ServerConfig { batch_size, pipelined, ..ServerConfig::default() },
+        )
+    }
+
     #[test]
     fn drain_commits_every_admitted_transaction_exactly_once() {
         let (db, txns) = db_and_writers(200, 5);
-        let mut server = LtpgServer::new(
-            db,
-            LtpgConfig::default(),
-            ServerConfig { batch_size: 32, pipelined: true, checkpoint_every: None },
-        );
+        let mut server = small_server(db, 32, true);
         server.submit_all(txns);
         let stats = server.drain(500).clone();
         assert_eq!(stats.committed, 200, "heavy WAW contention must still drain");
         assert_eq!(server.pending(), 0);
         assert!(stats.abort_events > 0, "5 hot keys × 32-txn batches must conflict");
         assert!(stats.batches as usize >= 200 / 32);
+        assert_eq!(stats.faults, FaultStats::default(), "fault-free run has zero counters");
     }
 
     #[test]
     fn pipelined_reentry_waits_two_batches() {
         let (db, txns) = db_and_writers(64, 1); // all conflict on one key
-        let mut server = LtpgServer::new(
-            db,
-            LtpgConfig::default(),
-            ServerConfig { batch_size: 64, pipelined: true, checkpoint_every: None },
-        );
+        let mut server = small_server(db, 64, true);
         server.submit_all(txns);
         let s1 = server.tick().unwrap();
         assert_eq!(s1.committed.len(), 1);
@@ -283,7 +488,12 @@ mod tests {
         let mut server = LtpgServer::new(
             db,
             LtpgConfig::default(),
-            ServerConfig { batch_size: 16, pipelined: false, checkpoint_every: Some(3) },
+            ServerConfig {
+                batch_size: 16,
+                pipelined: false,
+                checkpoint_every: Some(3),
+                ..ServerConfig::default()
+            },
         );
         server.submit_all(txns);
         server.drain(200);
@@ -298,5 +508,101 @@ mod tests {
         let mut server = LtpgServer::new(db, LtpgConfig::default(), ServerConfig::default());
         assert!(server.tick().is_none());
         assert_eq!(server.stats().batches, 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        let (db, txns) = db_and_writers(60, 6);
+        let mut server = small_server(db, 20, false);
+        // Ordinal 0 is the first batch's upload; after the retry shifts
+        // the stream by one, ordinal 5 lands on that batch's download —
+        // one fault of each transfer direction.
+        server.arm_faults(DeviceFaultPlan {
+            transient_ops: [0u64, 5].into_iter().collect(),
+            lost_at_op: None,
+        });
+        server.submit_all(txns);
+        let stats = server.drain(100).clone();
+        assert_eq!(stats.committed, 60);
+        assert!(!server.is_degraded(), "transients alone must not trigger fallback");
+        assert_eq!(stats.faults.transient_retries, 2);
+        assert!(stats.faults.backoff_ns > 0.0);
+        assert_eq!(stats.faults.fallback_activations, 0);
+    }
+
+    #[test]
+    fn device_loss_degrades_to_cpu_with_identical_history() {
+        let (db, txns) = db_and_writers(120, 7);
+        let mut reference = small_server(db.deep_clone(), 16, false);
+        reference.submit_all(txns.clone());
+        let ref_stats = reference.drain(200).clone();
+
+        let mut server = small_server(db, 16, false);
+        // Lose the device partway through the run: ordinal 11 is the
+        // liveness check before the third batch's execute kernel, i.e. a
+        // mid-batch crashpoint.
+        server.arm_faults(DeviceFaultPlan {
+            transient_ops: Default::default(),
+            lost_at_op: Some(11),
+        });
+        server.submit_all(txns);
+        let stats = server.drain(200).clone();
+
+        assert!(server.is_degraded());
+        assert_eq!(server.executor_name(), "LTPG-CPU-fallback");
+        assert_eq!(stats.faults.fallback_activations, 1);
+        assert_eq!(stats.committed, ref_stats.committed);
+        assert_eq!(stats.batches, ref_stats.batches, "degradation must not change batching");
+        assert_eq!(
+            server.database().state_digest(),
+            reference.database().state_digest(),
+            "CPU fallback must reproduce the all-GPU history bit-for-bit"
+        );
+    }
+
+    #[test]
+    fn forced_failure_at_batch_boundary_drains_on_cpu() {
+        let (db, txns) = db_and_writers(100, 5);
+        let mut reference = small_server(db.deep_clone(), 25, true);
+        reference.submit_all(txns.clone());
+        reference.drain(200);
+
+        let mut server = small_server(db, 25, true);
+        server.submit_all(txns);
+        server.tick().unwrap();
+        server.force_device_failure(); // crashpoint at a batch boundary
+        let stats = server.drain(200).clone();
+        assert!(server.is_degraded());
+        assert_eq!(stats.faults.fallback_activations, 1);
+        assert_eq!(
+            server.database().state_digest(),
+            reference.database().state_digest()
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_instead_of_spinning() {
+        let (db, txns) = db_and_writers(40, 4);
+        let mut server = LtpgServer::new(
+            db,
+            LtpgConfig::default(),
+            ServerConfig {
+                batch_size: 20,
+                pipelined: false,
+                max_transient_retries: 2,
+                ..ServerConfig::default()
+            },
+        );
+        // Every upload attempt of the first batch fails transiently
+        // (retries re-draw ordinals 0, 1, 2, ...).
+        server.arm_faults(DeviceFaultPlan {
+            transient_ops: (0u64..16).collect(),
+            lost_at_op: None,
+        });
+        server.submit_all(txns);
+        let stats = server.drain(100).clone();
+        assert!(server.is_degraded(), "a hopelessly flaky device must be abandoned");
+        assert_eq!(stats.committed, 40);
+        assert_eq!(stats.faults.transient_retries, 2);
     }
 }

@@ -35,6 +35,9 @@ pub struct LtpgBatchStats {
     pub delayed_read_aborts: u64,
     /// Commutative deltas folded at write-back.
     pub delayed_ops_applied: u64,
+    /// Result-download (D2H) copies re-issued after a transient transfer
+    /// fault. The batch had already executed, so only the copy repeats.
+    pub d2h_retries: u64,
 }
 
 impl LtpgBatchStats {
@@ -47,6 +50,25 @@ impl LtpgBatchStats {
     pub fn transfer_ns(&self) -> f64 {
         self.h2d_ns + self.d2h_ns
     }
+}
+
+/// Fault-handling counters, accumulated by [`crate::LtpgServer`] across
+/// its lifetime. All zeros unless a fault plan is armed (or the log is
+/// damaged), so dashboards can alert on any non-zero value.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Batch or transfer attempts re-issued after a transient device
+    /// fault (upload retries + download retries).
+    pub transient_retries: u64,
+    /// Simulated nanoseconds spent in retry backoff.
+    pub backoff_ns: f64,
+    /// Torn WAL tails dropped during degradation replay.
+    pub frames_truncated: u64,
+    /// Bytes of torn WAL tail dropped during degradation replay.
+    pub bytes_truncated: u64,
+    /// Times the server abandoned the device and rebuilt state on the CPU
+    /// fallback executor.
+    pub fallback_activations: u64,
 }
 
 /// A [`BatchReport`] bundled with the LTPG-specific phase breakdown.

@@ -2,9 +2,10 @@
 //! allocation footprint used by the unified-memory fault model.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use crate::cost::CostModel;
+use crate::faults::{DeviceError, DeviceFaultPlan};
 use crate::stats::DeviceStats;
 
 /// Where the working set lives, mirroring the paper's "selective memory
@@ -75,6 +76,12 @@ pub struct Device {
     pub(crate) epoch: AtomicU32,
     /// Bytes currently allocated on (or managed by) the device.
     allocated: AtomicU64,
+    /// Armed fault schedule (empty by default — fallible APIs never fail).
+    fault_plan: Mutex<DeviceFaultPlan>,
+    /// Ordinal counter for fallible operations, consumed by the plan.
+    fault_op: AtomicU64,
+    /// Sticky device-lost flag.
+    failed: AtomicBool,
 }
 
 impl Device {
@@ -85,7 +92,78 @@ impl Device {
             stats: Mutex::new(DeviceStats::default()),
             epoch: AtomicU32::new(0),
             allocated: AtomicU64::new(0),
+            fault_plan: Mutex::new(DeviceFaultPlan::none()),
+            fault_op: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
         }
+    }
+
+    /// Arm a deterministic fault schedule. Replaces any previous plan and
+    /// restarts the fallible-operation ordinal at zero (a cleared sticky
+    /// failure is *not* implied — use a fresh device to model replacement).
+    pub fn arm_faults(&self, plan: DeviceFaultPlan) {
+        *self.fault_plan.lock() = plan;
+        self.fault_op.store(0, Ordering::Relaxed);
+    }
+
+    /// Whether the device has entered the sticky lost state.
+    pub fn is_failed(&self) -> bool {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Force the sticky lost state now (a crashpoint at a batch boundary,
+    /// as opposed to one scheduled by ordinal inside the plan).
+    pub fn fail_now(&self) {
+        self.failed.store(true, Ordering::Relaxed);
+    }
+
+    /// Consume one fallible-operation ordinal and apply the armed plan.
+    fn fault_check(&self) -> Result<(), DeviceError> {
+        let op = self.fault_op.fetch_add(1, Ordering::Relaxed);
+        if self.failed.load(Ordering::Relaxed) {
+            return Err(DeviceError::DeviceLost { op });
+        }
+        match self.fault_plan.lock().classify(op) {
+            Some(DeviceError::DeviceLost { op }) => {
+                self.failed.store(true, Ordering::Relaxed);
+                Err(DeviceError::DeviceLost { op })
+            }
+            Some(err @ DeviceError::TransientTransfer { .. }) => {
+                self.stats.lock().transient_faults += 1;
+                Err(err)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Liveness probe for non-transfer points (e.g. between phase
+    /// kernels). Consumes an ordinal; transient entries landing on it are
+    /// ignored — only device loss fails a launch.
+    pub fn check_alive(&self) -> Result<(), DeviceError> {
+        match self.fault_check() {
+            Err(e @ DeviceError::DeviceLost { .. }) => Err(e),
+            // A transient scheduled on a non-transfer ordinal is a no-op,
+            // but it was still consumed from the plan — undo the count.
+            Err(DeviceError::TransientTransfer { .. }) => {
+                self.stats.lock().transient_faults -= 1;
+                Ok(())
+            }
+            Ok(()) => Ok(()),
+        }
+    }
+
+    /// Fallible host→device copy: like [`Device::h2d`] but consults the
+    /// armed fault plan first. A failed attempt charges no simulated time.
+    pub fn try_h2d(&self, bytes: u64) -> Result<f64, DeviceError> {
+        self.fault_check()?;
+        Ok(self.h2d(bytes))
+    }
+
+    /// Fallible device→host copy: like [`Device::d2h`] but consults the
+    /// armed fault plan first. A failed attempt charges no simulated time.
+    pub fn try_d2h(&self, bytes: u64) -> Result<f64, DeviceError> {
+        self.fault_check()?;
+        Ok(self.d2h(bytes))
     }
 
     /// The configuration this device was built with.
@@ -238,6 +316,67 @@ mod tests {
         let d = Device::new(cfg);
         d.register_allocation(100);
         assert_eq!(d.fault_fraction(), 0.0);
+    }
+
+    #[test]
+    fn unarmed_device_never_fails() {
+        let d = Device::new(DeviceConfig::default());
+        for _ in 0..100 {
+            d.try_h2d(64).unwrap();
+            d.check_alive().unwrap();
+            d.try_d2h(64).unwrap();
+        }
+        assert!(!d.is_failed());
+        assert_eq!(d.stats().transient_faults, 0);
+    }
+
+    #[test]
+    fn transient_fault_fails_once_then_retry_succeeds() {
+        use crate::faults::{DeviceError, DeviceFaultPlan};
+        let d = Device::new(DeviceConfig::default());
+        d.arm_faults(DeviceFaultPlan {
+            transient_ops: [1u64].into_iter().collect(),
+            lost_at_op: None,
+        });
+        d.try_h2d(64).unwrap(); // op 0
+        let before = d.stats().busy_ns;
+        match d.try_h2d(64) {
+            Err(DeviceError::TransientTransfer { op: 1 }) => {}
+            other => panic!("expected transient at op 1, got {other:?}"),
+        }
+        assert_eq!(d.stats().busy_ns, before, "failed transfer must charge no time");
+        d.try_h2d(64).unwrap(); // retry, op 2
+        assert_eq!(d.stats().transient_faults, 1);
+        assert!(!d.is_failed());
+    }
+
+    #[test]
+    fn device_loss_is_sticky() {
+        use crate::faults::{DeviceError, DeviceFaultPlan};
+        let d = Device::new(DeviceConfig::default());
+        d.arm_faults(DeviceFaultPlan { transient_ops: Default::default(), lost_at_op: Some(2) });
+        d.try_h2d(8).unwrap();
+        d.check_alive().unwrap();
+        assert!(matches!(d.try_d2h(8), Err(DeviceError::DeviceLost { op: 2 })));
+        assert!(d.is_failed());
+        assert!(matches!(d.try_h2d(8), Err(DeviceError::DeviceLost { .. })));
+        assert!(matches!(d.check_alive(), Err(DeviceError::DeviceLost { .. })));
+    }
+
+    #[test]
+    fn forced_failure_and_transient_on_launch_point() {
+        use crate::faults::DeviceFaultPlan;
+        let d = Device::new(DeviceConfig::default());
+        d.arm_faults(DeviceFaultPlan {
+            transient_ops: [0u64].into_iter().collect(),
+            lost_at_op: None,
+        });
+        // A transient scheduled on a liveness probe is ignored.
+        d.check_alive().unwrap();
+        assert_eq!(d.stats().transient_faults, 0);
+        d.fail_now();
+        assert!(d.is_failed());
+        assert!(d.try_h2d(8).is_err());
     }
 
     #[test]

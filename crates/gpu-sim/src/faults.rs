@@ -1,0 +1,129 @@
+//! Deterministic device-fault model.
+//!
+//! A [`DeviceFaultPlan`] is a precomputed schedule of failures keyed by the
+//! device's *fallible-operation ordinal* — a counter the device increments
+//! on every `try_h2d` / `try_d2h` / `check_alive` call. Because the
+//! schedule is data (built once from a seed by the higher layers) and the
+//! ordinal sequence is a pure function of the workload, every run with the
+//! same seed observes the same faults at the same points: fault injection
+//! stays inside the determinism envelope the rest of the system relies on.
+//!
+//! Two failure classes are modelled:
+//!
+//! - **Transient transfer faults** — a copy fails once and succeeds when
+//!   retried (the software analogue of an ECC hiccup or a DMA timeout).
+//!   The op consumes an ordinal but charges no simulated time.
+//! - **Device loss** — at a scheduled ordinal the device enters a sticky
+//!   failed state; every subsequent fallible op returns
+//!   [`DeviceError::DeviceLost`]. This models a hard crash (falling off
+//!   the bus, Xid error) and can land *mid-batch*, between phase kernels.
+
+use std::collections::BTreeSet;
+
+/// Typed failure surfaced by the device's fallible APIs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A transfer failed transiently; the same logical copy may be retried
+    /// and will succeed unless the plan schedules another fault.
+    TransientTransfer {
+        /// The fallible-operation ordinal at which the fault fired.
+        op: u64,
+    },
+    /// The device is gone. Sticky: every later operation fails the same
+    /// way until the device is replaced.
+    DeviceLost {
+        /// The fallible-operation ordinal at which the device died (or at
+        /// which the loss was first observed, for forced failures).
+        op: u64,
+    },
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::TransientTransfer { op } => {
+                write!(f, "transient transfer fault at device op {op}")
+            }
+            DeviceError::DeviceLost { op } => write!(f, "device lost at device op {op}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A deterministic schedule of device failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeviceFaultPlan {
+    /// Fallible-op ordinals at which a transfer fails transiently. Each
+    /// entry fires once; a retry gets the next ordinal and proceeds unless
+    /// that ordinal is also listed.
+    pub transient_ops: BTreeSet<u64>,
+    /// Ordinal at which the device is lost for good, if any.
+    pub lost_at_op: Option<u64>,
+}
+
+impl DeviceFaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        DeviceFaultPlan::default()
+    }
+
+    /// Whether this plan can ever fire.
+    pub fn is_empty(&self) -> bool {
+        self.transient_ops.is_empty() && self.lost_at_op.is_none()
+    }
+
+    /// What happens at ordinal `op`: device loss dominates, then a
+    /// (consumed) transient entry, then success.
+    pub(crate) fn classify(&mut self, op: u64) -> Option<DeviceError> {
+        if let Some(lost) = self.lost_at_op {
+            if op >= lost {
+                return Some(DeviceError::DeviceLost { op });
+            }
+        }
+        if self.transient_ops.remove(&op) {
+            return Some(DeviceError::TransientTransfer { op });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut p = DeviceFaultPlan::none();
+        assert!(p.is_empty());
+        for op in 0..100 {
+            assert_eq!(p.classify(op), None);
+        }
+    }
+
+    #[test]
+    fn transient_entries_fire_once() {
+        let mut p = DeviceFaultPlan {
+            transient_ops: [3u64, 5].into_iter().collect(),
+            lost_at_op: None,
+        };
+        assert_eq!(p.classify(2), None);
+        assert_eq!(p.classify(3), Some(DeviceError::TransientTransfer { op: 3 }));
+        assert_eq!(p.classify(3), None, "consumed entries must not re-fire");
+        assert_eq!(p.classify(5), Some(DeviceError::TransientTransfer { op: 5 }));
+        assert!(p.is_empty() || p.transient_ops.is_empty());
+    }
+
+    #[test]
+    fn loss_dominates_and_is_sticky() {
+        let mut p = DeviceFaultPlan {
+            transient_ops: [10u64].into_iter().collect(),
+            lost_at_op: Some(7),
+        };
+        assert_eq!(p.classify(6), None);
+        assert_eq!(p.classify(7), Some(DeviceError::DeviceLost { op: 7 }));
+        assert_eq!(p.classify(8), Some(DeviceError::DeviceLost { op: 8 }));
+        // Even the scheduled transient at 10 reads as loss now.
+        assert_eq!(p.classify(10), Some(DeviceError::DeviceLost { op: 10 }));
+    }
+}

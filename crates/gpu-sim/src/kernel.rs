@@ -363,8 +363,15 @@ impl Device {
                     let run_range = &run_range;
                     handles.push(s.spawn(move |_| run_range(lo, hi)));
                 }
+                // Invariant: a worker panic means a kernel closure (user
+                // code) panicked — there is no partial result to salvage,
+                // so the panic is re-raised on the host thread rather
+                // than converted into a device error the fault model
+                // would mistake for injected failure.
                 handles.into_iter().map(|h| h.join().expect("kernel worker panicked")).collect::<Vec<_>>()
             })
+            // Invariant: `crossbeam::scope` only errors when a child
+            // panicked, which the join above already surfaces.
             .expect("crossbeam scope failed");
             let mut merged = WarpRangeAgg::default();
             for p in &partials {

@@ -55,6 +55,7 @@
 pub mod atomic;
 pub mod cost;
 pub mod device;
+pub mod faults;
 pub mod kernel;
 pub mod memory;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod transfer;
 pub use atomic::{SimAtomicU32, SimAtomicU64};
 pub use cost::CostModel;
 pub use device::{Device, DeviceConfig, MemoryMode};
+pub use faults::{DeviceError, DeviceFaultPlan};
 pub use kernel::{KernelReport, Lane};
 pub use memory::DeviceAllocator;
 pub use stats::DeviceStats;

@@ -33,6 +33,9 @@ pub struct DeviceStats {
     pub bytes_d2h: u64,
     /// Unified-memory page faults charged by the fault model.
     pub page_faults: u64,
+    /// Transient (retryable) transfer faults injected by an armed
+    /// [`crate::faults::DeviceFaultPlan`].
+    pub transient_faults: u64,
 }
 
 impl DeviceStats {
@@ -52,6 +55,7 @@ impl DeviceStats {
             bytes_h2d: self.bytes_h2d - earlier.bytes_h2d,
             bytes_d2h: self.bytes_d2h - earlier.bytes_d2h,
             page_faults: self.page_faults - earlier.page_faults,
+            transient_faults: self.transient_faults - earlier.transient_faults,
         }
     }
 

@@ -3,14 +3,60 @@
 //! The paper's CPU side "records each batch of transactions on the hard
 //! drive as logs" and replays aborted transactions **with their original
 //! TIDs** to keep re-execution deterministic (§IV). This module provides
-//! that durability surface as an in-memory sink with byte accounting: the
-//! record format is real (length-prefixed frames over [`bytes::Bytes`]),
-//! only the physical medium is simulated.
+//! that durability surface with a real on-disk format over a simulated
+//! medium: every appended batch is encoded as a checksummed frame into a
+//! byte image (`disk`), and recovery re-parses that image. Only the
+//! physical medium is simulated — the parsing, checksums, and torn-tail
+//! handling are the real thing, which is what makes fault injection
+//! ([`BatchLog::corrupt_byte`], [`BatchLog::tear_tail`]) meaningful.
+//!
+//! ## Frame format (big-endian)
+//!
+//! ```text
+//! magic     u32   0x4C54_5047 ("LTPG")
+//! body_len  u32   length of `body` in bytes
+//! body      [u8]  batch_id u64 | tid_count u32 | tids u64×n
+//!                 | payload_len u32 | payload
+//! crc       u32   CRC-32 (IEEE) over `body`
+//! ```
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: `"LTPG"` as a big-endian `u32`.
+pub const FRAME_MAGIC: u32 = 0x4C54_5047;
+
+/// Fixed frame overhead: magic + body length + trailing CRC.
+pub const FRAME_OVERHEAD: usize = 12;
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3, reflected) — the checksum protecting frame bodies.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// One durable batch record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,24 +70,137 @@ pub struct BatchRecord {
 }
 
 impl BatchRecord {
-    /// Encode as a length-prefixed frame.
-    fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(16 + self.tids.len() * 8 + self.payload.len());
-        buf.put_u64(self.batch_id);
-        buf.put_u32(self.tids.len() as u32);
+    fn encode_body(&self) -> BytesMut {
+        let mut body = BytesMut::with_capacity(16 + self.tids.len() * 8 + self.payload.len());
+        body.put_u64(self.batch_id);
+        body.put_u32(self.tids.len() as u32);
         for t in &self.tids {
-            buf.put_u64(*t);
+            body.put_u64(*t);
         }
-        buf.put_u32(self.payload.len() as u32);
-        buf.put_slice(&self.payload);
+        body.put_u32(self.payload.len() as u32);
+        body.put_slice(&self.payload);
+        body
+    }
+
+    /// Encode as a checksummed frame: magic, body length, body, CRC-32.
+    pub fn encode(&self) -> Bytes {
+        let body = self.encode_body();
+        let mut buf = BytesMut::with_capacity(body.len() + FRAME_OVERHEAD);
+        buf.put_u32(FRAME_MAGIC);
+        buf.put_u32(body.len() as u32);
+        let crc = crc32(&body);
+        buf.put_slice(&body);
+        buf.put_u32(crc);
         buf.freeze()
+    }
+
+    /// Decode a CRC-verified frame body. Internal length fields are
+    /// re-validated so a hostile (or buggy) body can never cause a panic.
+    fn decode_body(mut body: &[u8]) -> Option<BatchRecord> {
+        if body.remaining() < 12 {
+            return None;
+        }
+        let batch_id = body.get_u64();
+        let tid_count = body.get_u32() as usize;
+        if body.remaining() < tid_count * 8 + 4 {
+            return None;
+        }
+        let tids: Vec<u64> = (0..tid_count).map(|_| body.get_u64()).collect();
+        let payload_len = body.get_u32() as usize;
+        if body.remaining() != payload_len {
+            return None;
+        }
+        let payload = Bytes::copy_from_slice(body.chunk());
+        Some(BatchRecord { batch_id, tids, payload })
     }
 }
 
-/// An append-only batch log.
+/// A frame that failed validation during a scan. Torn tails are *not*
+/// frame errors — they are reported separately via [`WalScan::tail`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The bytes at `offset` do not start with [`FRAME_MAGIC`].
+    BadMagic {
+        /// Index of the frame that failed (0-based).
+        frame_index: usize,
+        /// Byte offset of the frame in the log image.
+        offset: usize,
+        /// The four bytes found instead of the magic.
+        found: u32,
+    },
+    /// The frame's CRC-32 does not match its body.
+    ChecksumMismatch {
+        /// Index of the frame that failed (0-based).
+        frame_index: usize,
+        /// Byte offset of the frame in the log image.
+        offset: usize,
+        /// Checksum stored in the frame.
+        stored: u32,
+        /// Checksum recomputed over the body.
+        computed: u32,
+    },
+    /// The CRC verified but the body's internal length fields are
+    /// inconsistent (writer bug or checksum collision).
+    BadBody {
+        /// Index of the frame that failed (0-based).
+        frame_index: usize,
+        /// Byte offset of the frame in the log image.
+        offset: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic { frame_index, offset, found } => write!(
+                f,
+                "frame {frame_index} at byte {offset}: bad magic {found:#010x} (expected {FRAME_MAGIC:#010x})"
+            ),
+            FrameError::ChecksumMismatch { frame_index, offset, stored, computed } => write!(
+                f,
+                "frame {frame_index} at byte {offset}: checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            FrameError::BadBody { frame_index, offset } => {
+                write!(f, "frame {frame_index} at byte {offset}: inconsistent body lengths")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// State of the log image's tail after a scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TailState {
+    /// The image ends exactly on a frame boundary.
+    Clean,
+    /// The image ends with a partial frame (a torn write): `bytes`
+    /// trailing bytes starting at `offset` do not form a complete frame.
+    Torn {
+        /// Byte offset where the partial frame starts.
+        offset: usize,
+        /// Number of trailing bytes in the partial frame.
+        bytes: usize,
+    },
+}
+
+/// Result of parsing the physical log image.
+#[derive(Debug, Clone)]
+pub struct WalScan {
+    /// Every frame that validated, in log order.
+    pub records: Vec<BatchRecord>,
+    /// Whether the image ends cleanly or with a torn (partial) frame.
+    pub tail: TailState,
+}
+
+/// An append-only batch log over a simulated disk image.
 #[derive(Debug, Default)]
 pub struct BatchLog {
+    /// Logical view: what the writer appended (undamaged).
     records: Mutex<Vec<BatchRecord>>,
+    /// Physical view: the encoded byte image. Fault injection mutates
+    /// this; recovery parses it.
+    disk: Mutex<Vec<u8>>,
     bytes_written: AtomicU64,
     next_batch_id: AtomicU64,
 }
@@ -56,17 +215,24 @@ impl BatchLog {
     pub fn append(&self, tids: Vec<u64>, payload: Bytes) -> u64 {
         let batch_id = self.next_batch_id.fetch_add(1, Ordering::Relaxed);
         let rec = BatchRecord { batch_id, tids, payload };
-        self.bytes_written.fetch_add(rec.encode().len() as u64, Ordering::Relaxed);
+        let frame = rec.encode();
+        self.bytes_written.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        // Lock order: disk before records, matching every other method
+        // that takes both.
+        let mut disk = self.disk.lock();
+        disk.extend_from_slice(&frame);
         self.records.lock().push(rec);
         batch_id
     }
 
-    /// Fetch a batch back for re-execution (original TIDs preserved).
+    /// Fetch a batch from the *logical* view (original TIDs preserved).
+    /// Unaffected by injected faults; recovery paths should use
+    /// [`BatchLog::scan`] instead.
     pub fn fetch(&self, batch_id: u64) -> Option<BatchRecord> {
         self.records.lock().iter().find(|r| r.batch_id == batch_id).cloned()
     }
 
-    /// Number of batches logged.
+    /// Number of batches appended (logical view).
     pub fn len(&self) -> usize {
         self.records.lock().len()
     }
@@ -79,6 +245,137 @@ impl BatchLog {
     /// Total encoded bytes "written to disk".
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Size of the physical image right now (shrinks under
+    /// [`BatchLog::tear_tail`] / [`BatchLog::truncate_torn_tail`]).
+    pub fn disk_len(&self) -> usize {
+        self.disk.lock().len()
+    }
+
+    /// Byte spans `(offset, len)` of each complete frame in the image,
+    /// derived from frame headers without validating checksums.
+    pub fn frame_spans(&self) -> Vec<(usize, usize)> {
+        let disk = self.disk.lock();
+        let mut spans = Vec::new();
+        let mut off = 0usize;
+        while disk.len() - off >= FRAME_OVERHEAD {
+            let body_len =
+                u32::from_be_bytes([disk[off + 4], disk[off + 5], disk[off + 6], disk[off + 7]])
+                    as usize;
+            let frame_len = body_len + FRAME_OVERHEAD;
+            if disk.len() - off < frame_len {
+                break;
+            }
+            spans.push((off, frame_len));
+            off += frame_len;
+        }
+        spans
+    }
+
+    /// Fault injection: XOR one byte of the physical image.
+    /// Out-of-range positions are ignored (the injector may race a tear).
+    pub fn corrupt_byte(&self, pos: usize, xor: u8) {
+        let mut disk = self.disk.lock();
+        if let Some(b) = disk.get_mut(pos) {
+            *b ^= xor;
+        }
+    }
+
+    /// Fault injection: flip a byte inside the *body* of frame
+    /// `frame_index`, so the damage is caught by the CRC rather than the
+    /// magic check. Returns `false` if no such frame exists.
+    pub fn corrupt_frame(&self, frame_index: usize, xor: u8) -> bool {
+        let spans = self.frame_spans();
+        let Some(&(off, len)) = spans.get(frame_index) else {
+            return false;
+        };
+        debug_assert!(len > FRAME_OVERHEAD);
+        // First body byte (the batch id's high byte).
+        self.corrupt_byte(off + 8, if xor == 0 { 0xFF } else { xor });
+        true
+    }
+
+    /// Fault injection: a torn write — drop the last `drop_bytes` bytes of
+    /// the physical image, as if the machine died mid-`write(2)`. Returns
+    /// the number of bytes actually dropped.
+    pub fn tear_tail(&self, drop_bytes: usize) -> usize {
+        let mut disk = self.disk.lock();
+        let dropped = drop_bytes.min(disk.len());
+        let keep = disk.len() - dropped;
+        disk.truncate(keep);
+        dropped
+    }
+
+    /// Parse the physical image. Stops at the first invalid frame
+    /// (`Err`), or returns every valid record plus the tail state. A
+    /// partial trailing frame is *not* an error — it is reported as
+    /// [`TailState::Torn`] for the caller's truncation policy.
+    pub fn scan(&self) -> Result<WalScan, FrameError> {
+        let disk = self.disk.lock();
+        let mut records = Vec::new();
+        let mut off = 0usize;
+        let mut frame_index = 0usize;
+        while off < disk.len() {
+            let remaining = disk.len() - off;
+            if remaining < FRAME_OVERHEAD {
+                return Ok(WalScan { records, tail: TailState::Torn { offset: off, bytes: remaining } });
+            }
+            let magic = u32::from_be_bytes([disk[off], disk[off + 1], disk[off + 2], disk[off + 3]]);
+            if magic != FRAME_MAGIC {
+                return Err(FrameError::BadMagic { frame_index, offset: off, found: magic });
+            }
+            let body_len =
+                u32::from_be_bytes([disk[off + 4], disk[off + 5], disk[off + 6], disk[off + 7]])
+                    as usize;
+            if remaining < body_len + FRAME_OVERHEAD {
+                return Ok(WalScan { records, tail: TailState::Torn { offset: off, bytes: remaining } });
+            }
+            let body = &disk[off + 8..off + 8 + body_len];
+            let crc_off = off + 8 + body_len;
+            let stored = u32::from_be_bytes([
+                disk[crc_off],
+                disk[crc_off + 1],
+                disk[crc_off + 2],
+                disk[crc_off + 3],
+            ]);
+            let computed = crc32(body);
+            if stored != computed {
+                return Err(FrameError::ChecksumMismatch {
+                    frame_index,
+                    offset: off,
+                    stored,
+                    computed,
+                });
+            }
+            let record = BatchRecord::decode_body(body)
+                .ok_or(FrameError::BadBody { frame_index, offset: off })?;
+            records.push(record);
+            off += body_len + FRAME_OVERHEAD;
+            frame_index += 1;
+        }
+        Ok(WalScan { records, tail: TailState::Clean })
+    }
+
+    /// Detect-and-truncate recovery policy: if the image ends with a
+    /// partial frame, drop those bytes and return how many were dropped.
+    /// Complete-but-corrupt frames are left untouched (they surface as
+    /// `Err` from [`BatchLog::scan`]).
+    pub fn truncate_torn_tail(&self) -> Result<usize, FrameError> {
+        let scan = self.scan()?;
+        match scan.tail {
+            TailState::Clean => Ok(0),
+            TailState::Torn { offset, bytes } => {
+                let mut disk = self.disk.lock();
+                // Re-check under the lock: the tail may have changed.
+                if disk.len() == offset + bytes {
+                    disk.truncate(offset);
+                    Ok(bytes)
+                } else {
+                    Ok(0)
+                }
+            }
+        }
     }
 }
 
@@ -103,8 +400,86 @@ mod tests {
     fn byte_accounting_matches_frame_sizes() {
         let log = BatchLog::new();
         log.append(vec![7, 8], Bytes::from_static(b"xyzw"));
-        // 8 (batch id) + 4 (tid count) + 16 (tids) + 4 (len) + 4 (payload)
-        assert_eq!(log.bytes_written(), 36);
+        // Body: 8 (batch id) + 4 (tid count) + 16 (tids) + 4 (len)
+        // + 4 (payload) = 36; frame adds magic + body_len + crc = 12.
+        assert_eq!(log.bytes_written(), 48);
+        assert_eq!(log.disk_len(), 48);
+        assert_eq!(log.frame_spans(), vec![(0, 48)]);
+    }
+
+    #[test]
+    fn scan_roundtrips_clean_image() {
+        let log = BatchLog::new();
+        log.append(vec![1], Bytes::from_static(b"a"));
+        log.append(vec![2, 3], Bytes::from_static(b"bc"));
+        let scan = log.scan().unwrap();
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.records[0].tids, vec![1]);
+        assert_eq!(scan.records[1].batch_id, 1);
+        assert_eq!(&scan.records[1].payload[..], b"bc");
+    }
+
+    #[test]
+    fn corrupt_body_is_a_checksum_mismatch() {
+        let log = BatchLog::new();
+        log.append(vec![1], Bytes::from_static(b"a"));
+        log.append(vec![2], Bytes::from_static(b"b"));
+        assert!(log.corrupt_frame(0, 0x40));
+        match log.scan() {
+            Err(FrameError::ChecksumMismatch { frame_index: 0, .. }) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_magic_is_bad_magic() {
+        let log = BatchLog::new();
+        log.append(vec![1], Bytes::from_static(b"a"));
+        log.corrupt_byte(0, 0xFF);
+        match log.scan() {
+            Err(FrameError::BadMagic { frame_index: 0, offset: 0, .. }) => {}
+            other => panic!("expected bad magic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn torn_tail_detected_and_truncated() {
+        let log = BatchLog::new();
+        log.append(vec![1], Bytes::from_static(b"a"));
+        log.append(vec![2], Bytes::from_static(b"b"));
+        let torn = 5;
+        log.tear_tail(torn);
+        let scan = log.scan().unwrap();
+        assert_eq!(scan.records.len(), 1, "partial second frame must not decode");
+        match scan.tail {
+            TailState::Torn { bytes, .. } => assert!(bytes > 0),
+            TailState::Clean => panic!("tail should be torn"),
+        }
+        let dropped = log.truncate_torn_tail().unwrap();
+        assert!(dropped > 0);
+        let rescan = log.scan().unwrap();
+        assert_eq!(rescan.tail, TailState::Clean);
+        assert_eq!(rescan.records.len(), 1);
+    }
+
+    #[test]
+    fn tear_of_whole_frames_leaves_clean_shorter_log() {
+        let log = BatchLog::new();
+        log.append(vec![1], Bytes::from_static(b"a"));
+        let first = log.disk_len();
+        log.append(vec![2], Bytes::from_static(b"b"));
+        let second = log.disk_len() - first;
+        log.tear_tail(second);
+        let scan = log.scan().unwrap();
+        assert_eq!(scan.tail, TailState::Clean);
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 
     #[test]

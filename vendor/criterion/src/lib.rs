@@ -1,0 +1,221 @@
+//! Minimal in-tree stand-in for `criterion`.
+//!
+//! Implements the harness surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `Bencher::{iter, iter_batched}`, `BenchmarkId`,
+//! `black_box`). Instead of statistical sampling it runs each routine for
+//! a short fixed budget and prints the mean wall-clock time — enough to
+//! compare orders of magnitude and to keep `cargo bench` working offline.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub treats all variants
+/// identically (setup runs once per iteration, outside the timed region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { label: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    iters_hint: u64,
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass, also keeps the closure from being optimized out.
+        black_box(routine());
+        let start = Instant::now();
+        let mut n = 0u64;
+        while n < self.iters_hint && start.elapsed() < Duration::from_millis(200) {
+            black_box(routine());
+            n += 1;
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / n.max(1) as f64;
+    }
+
+    /// Time `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        let mut n = 0u64;
+        let budget = Instant::now();
+        while n < self.iters_hint && budget.elapsed() < Duration::from_millis(400) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            n += 1;
+        }
+        self.last_mean_ns = total.as_nanos() as f64 / n.max(1) as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    harness: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Advisory sample count (the stub uses it as an iteration hint).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.harness.iters_hint = (n as u64).max(1);
+        self
+    }
+
+    /// Advisory measurement time (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        self.harness.run_one(&label, f);
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    iters_hint: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters_hint: 100 }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), harness: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher { iters_hint: self.iters_hint, last_mean_ns: 0.0 };
+        f(&mut b);
+        let ns = b.last_mean_ns;
+        if ns >= 1_000_000.0 {
+            println!("bench {label:<48} {:>12.3} ms/iter", ns / 1_000_000.0);
+        } else if ns >= 1_000.0 {
+            println!("bench {label:<48} {:>12.3} us/iter", ns / 1_000.0);
+        } else {
+            println!("bench {label:<48} {ns:>12.1} ns/iter");
+        }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("sum");
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::from_parameter(64), |b| {
+            b.iter(|| (0..64u64).map(black_box).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 32],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        benches();
+    }
+}

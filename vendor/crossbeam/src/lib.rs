@@ -1,0 +1,100 @@
+//! Minimal in-tree stand-in for `crossbeam`, covering the scoped-thread
+//! API this workspace uses (`crossbeam::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`), implemented over `std::thread::scope`.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread;
+
+/// A scope in which borrowing, structured threads can be spawned.
+///
+/// Mirrors `crossbeam_utils::thread::Scope`: `spawn` passes the scope back
+/// to the closure so children can spawn siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a thread spawned inside a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread to finish, returning its result (or the panic
+    /// payload if it panicked).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread inside the scope. The closure receives the scope so
+    /// it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope)) }
+    }
+}
+
+/// Run `f` with a thread scope; every spawned thread is joined before this
+/// returns. Returns `Err` with the panic payload if `f` or any *unjoined*
+/// spawned thread panicked (crossbeam semantics).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn spawned_threads_borrow_and_join() {
+        let counter = AtomicU32::new(0);
+        let out = super::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let counter = &counter;
+                handles.push(s.spawn(move |_| counter.fetch_add(1, Ordering::Relaxed)));
+            }
+            let results: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            results.len()
+        })
+        .unwrap();
+        assert_eq!(out, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panic_in_child_surfaces_as_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

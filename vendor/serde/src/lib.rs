@@ -1,0 +1,149 @@
+//! Minimal in-tree stand-in for `serde`.
+//!
+//! Instead of the real visitor-based `Serializer` protocol, [`Serialize`]
+//! lowers a value to a [`json::JsonValue`] tree, which `serde_json` then
+//! renders. That is the only data format this workspace emits, so the
+//! simplification is invisible to callers: `#[derive(Serialize)]` plus
+//! `serde_json::to_string_pretty` work as with the real crates.
+
+/// Re-export of the derive macro (same-name-as-trait, like real serde).
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// The JSON data model [`Serialize`] lowers into.
+pub mod json {
+    /// A JSON value tree. Integer variants are kept exact (not as `f64`).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum JsonValue {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Signed integer (exact).
+        I64(i64),
+        /// Unsigned integer (exact).
+        U64(u64),
+        /// Floating point.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Array(Vec<JsonValue>),
+        /// Object with field order preserved.
+        Object(Vec<(String, JsonValue)>),
+    }
+}
+
+use json::JsonValue;
+
+/// Types that can be lowered to a [`JsonValue`] tree.
+pub trait Serialize {
+    /// Lower `self` to a JSON value.
+    fn to_json(&self) -> JsonValue;
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> JsonValue { JsonValue::I64(*self as i64) }
+        }
+    )*};
+}
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> JsonValue { JsonValue::U64(*self as u64) }
+        }
+    )*};
+}
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> JsonValue {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> JsonValue {
+        match self {
+            Some(v) => v.to_json(),
+            None => JsonValue::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::JsonValue;
+    use super::Serialize;
+
+    #[test]
+    fn primitives_lower_exactly() {
+        assert_eq!(42u64.to_json(), JsonValue::U64(42));
+        assert_eq!((-3i64).to_json(), JsonValue::I64(-3));
+        assert_eq!(true.to_json(), JsonValue::Bool(true));
+        assert_eq!("hi".to_json(), JsonValue::Str("hi".into()));
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            JsonValue::Array(vec![JsonValue::U64(1), JsonValue::U64(2)])
+        );
+        assert_eq!(None::<u8>.to_json(), JsonValue::Null);
+    }
+}

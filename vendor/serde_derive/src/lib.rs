@@ -1,0 +1,93 @@
+//! `#[derive(Serialize)]` for structs with named fields, implemented by
+//! walking the raw `TokenStream` (no `syn`/`quote`, which are unavailable
+//! offline). Generics, enums, tuple structs, and field attributes are not
+//! supported — the workspace only derives on plain named-field structs.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` by lowering each named field in declaration
+/// order into a `JsonValue::Object` entry.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_named_struct(&tokens);
+    let fields = parse_field_names(body);
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f})),"
+            )
+        })
+        .collect();
+
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn to_json(&self) -> ::serde::json::JsonValue {{\n\
+         \x20       ::serde::json::JsonValue::Object(vec![{entries}])\n\
+         \x20   }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Find `struct <Name> { ... }`, skipping attributes and visibility.
+fn parse_named_struct(tokens: &[TokenTree]) -> (String, TokenStream) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = match &tokens[i + 1] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!("expected struct name, found {other}"),
+                };
+                // The brace group must follow the name immediately:
+                // anything in between means generics or a tuple struct —
+                // out of scope for this stub.
+                match tokens.get(i + 2) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return (name, g.stream());
+                    }
+                    _ => panic!(
+                        "derive(Serialize) stub supports only plain named-field structs"
+                    ),
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("derive(Serialize) stub: no `struct` item found");
+}
+
+/// Field names from a named-field body: split on top-level commas, skip
+/// `#[...]` attributes and `pub`/`pub(...)` visibility, take the ident
+/// before the `:`.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut at_field_start = true;
+    let mut skip_next_group = false; // the `(...)` of `pub(crate)` or `#`'s `[...]`
+    for tree in body {
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == ',' => at_field_start = true,
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_next_group = true,
+            TokenTree::Group(_) if skip_next_group => skip_next_group = false,
+            TokenTree::Ident(id) if at_field_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    skip_next_group = true; // harmless if no `(...)` follows
+                } else {
+                    fields.push(s);
+                    at_field_start = false;
+                }
+            }
+            _ => {
+                // Type tokens after the `:` — a `pub` not followed by a
+                // group leaves skip_next_group set; clear it here.
+                skip_next_group = false;
+            }
+        }
+    }
+    fields
+}

@@ -1,0 +1,177 @@
+//! Minimal in-tree stand-in for `serde_json`: renders the stub `serde`
+//! crate's [`serde::json::JsonValue`] tree as pretty-printed JSON
+//! (2-space indent, field order preserved).
+
+use serde::json::JsonValue;
+use serde::Serialize;
+
+/// Serialization error. The stub data model is infallible, so this is
+/// never actually produced; it exists for signature compatibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), 0);
+    Ok(out)
+}
+
+/// Serialize `value` as compact single-line JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let pretty = to_string_pretty(value)?;
+    // Compact form is only used for small debug payloads; re-rendering
+    // from the tree keeps one code path.
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_json());
+    let _ = pretty;
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &JsonValue, indent: usize) {
+    match v {
+        JsonValue::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push(']');
+        }
+        JsonValue::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                push_indent(out, indent + 1);
+                write_string(out, k);
+                out.push_str(": ");
+                write_value(out, val, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+fn write_compact(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::I64(n) => out.push_str(&n.to_string()),
+        JsonValue::U64(n) => out.push_str(&n.to_string()),
+        JsonValue::F64(x) => {
+            if x.is_finite() {
+                // Keep integral floats distinguishable from ints, as the
+                // real crate does ("1.0", not "1").
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        JsonValue::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_compact(out, val);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::json::JsonValue;
+
+    #[test]
+    fn pretty_prints_nested_structures() {
+        let v = JsonValue::Array(vec![JsonValue::Object(vec![
+            ("name".to_string(), JsonValue::Str("a\"b".into())),
+            ("n".to_string(), JsonValue::U64(3)),
+            ("x".to_string(), JsonValue::F64(2.0)),
+        ])]);
+        struct W(JsonValue);
+        impl serde::Serialize for W {
+            fn to_json(&self) -> JsonValue {
+                self.0.clone()
+            }
+        }
+        let s = crate::to_string_pretty(&W(v)).unwrap();
+        assert_eq!(
+            s,
+            "[\n  {\n    \"name\": \"a\\\"b\",\n    \"n\": 3,\n    \"x\": 2.0\n  }\n]"
+        );
+    }
+
+    #[test]
+    fn compact_matches_structure() {
+        struct W;
+        impl serde::Serialize for W {
+            fn to_json(&self) -> JsonValue {
+                JsonValue::Object(vec![("k".into(), JsonValue::I64(-1))])
+            }
+        }
+        assert_eq!(crate::to_string(&W).unwrap(), "{\"k\":-1}");
+    }
+}
