@@ -159,6 +159,7 @@ impl BatchEngine for AriaEngine {
             committed,
             aborted,
             sim_ns: clock.makespan_ns(),
+            critical_path_ns: clock.makespan_ns(),
             transfer_ns: 0.0,
             wall_ns: wall.elapsed().as_nanos() as u64,
             semantics: CommitSemantics::SnapshotBatch,

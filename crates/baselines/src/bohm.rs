@@ -289,6 +289,7 @@ impl BatchEngine for BohmEngine {
             committed,
             aborted: aborted_user,
             sim_ns: clock.makespan_ns(),
+            critical_path_ns: clock.makespan_ns(),
             transfer_ns: 0.0,
             wall_ns: wall.elapsed().as_nanos() as u64,
             semantics: CommitSemantics::SerialOrder,

@@ -504,6 +504,7 @@ pub mod fallback {
                 committed,
                 aborted,
                 sim_ns,
+                critical_path_ns: sim_ns,
                 transfer_ns: 0.0,
                 wall_ns: wall_start.elapsed().as_nanos() as u64,
                 semantics: CommitSemantics::SnapshotBatch,

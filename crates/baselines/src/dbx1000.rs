@@ -369,6 +369,7 @@ impl BatchEngine for Dbx1000Engine {
             committed: order.into_iter().map(|(_, _, tid)| tid).collect(),
             aborted,
             sim_ns: clock.makespan_ns(),
+            critical_path_ns: clock.makespan_ns(),
             transfer_ns: 0.0,
             wall_ns: wall.elapsed().as_nanos() as u64,
             semantics: CommitSemantics::SerialOrder,

@@ -308,6 +308,7 @@ impl BatchEngine for GaccoEngine {
             committed,
             aborted,
             sim_ns,
+            critical_path_ns: sim_ns,
             transfer_ns: h2d + d2h,
             wall_ns: wall.elapsed().as_nanos() as u64,
             semantics: CommitSemantics::SerialOrder,

@@ -172,6 +172,7 @@ impl BatchEngine for GputxEngine {
             committed,
             aborted,
             sim_ns,
+            critical_path_ns: sim_ns,
             transfer_ns: h2d + d2h,
             wall_ns: wall.elapsed().as_nanos() as u64,
             semantics: CommitSemantics::SerialOrder,

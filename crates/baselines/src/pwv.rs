@@ -188,6 +188,7 @@ impl BatchEngine for PwvEngine {
             committed: batch.txns.iter().map(|t| t.tid).collect(),
             aborted: Vec::new(),
             sim_ns: clock.makespan_ns(),
+            critical_path_ns: clock.makespan_ns(),
             transfer_ns: 0.0,
             wall_ns: wall.elapsed().as_nanos() as u64,
             semantics: CommitSemantics::SerialOrder,

@@ -2,6 +2,11 @@
 //! grows, 50/50 TPC-C mix. The paper's claims: latency between ~300 µs and
 //! 8 ms across the sweep, commit rate stable between 50 % and 75 %.
 //!
+//! Latency is the steady-state critical path (`mean_critical_ns`), not
+//! the serial six-phase sum — LTPG pipelines transfers against compute,
+//! and the paper's Fig. 6a measures the pipelined system. The serial sum
+//! is kept in the JSON record as `serial_latency_us`.
+//!
 //! Default: warehouses 32, batch 2⁸..2¹⁴; `--full` extends to 2¹⁶.
 
 use ltpg_bench::*;
@@ -14,6 +19,7 @@ struct Point {
     batch: usize,
     commit_rate: f64,
     latency_us: f64,
+    serial_latency_us: f64,
     mtps: f64,
 }
 
@@ -39,13 +45,14 @@ fn main() {
         rows.push(vec![
             format!("2^{e}"),
             format!("{:.1}", 100.0 * out.mean_commit_rate),
-            format!("{:.0}", out.mean_batch_ns / 1e3),
+            format!("{:.0}", out.mean_critical_ns / 1e3),
             format!("{:.2}", out.mtps()),
         ]);
         records.push(Point {
             batch: b,
             commit_rate: out.mean_commit_rate,
-            latency_us: out.mean_batch_ns / 1e3,
+            latency_us: out.mean_critical_ns / 1e3,
+            serial_latency_us: out.mean_batch_ns / 1e3,
             mtps: out.mtps(),
         });
     }

@@ -175,6 +175,7 @@ impl TableLog {
         let start = (h as usize) & self.mask;
         for i in 0..self.s_h {
             let b = (start + i) & self.mask;
+            lane.charge_light(12.0); // probing cost, per bucket inspected (cache-hot log)
             let tag = &self.tags[b];
             let mut cur = tag.load();
             loop {
@@ -198,7 +199,6 @@ impl TableLog {
                     Err(observed) => cur = observed,
                 }
             }
-            lane.charge_light(12.0); // probing cost (cache-hot log)
         }
         // Log exhausted: the caller treats a failed registration as a
         // forced abort of the registering transaction (always sound).
@@ -628,6 +628,47 @@ mod tests {
         // Key k's writers are {k+64n}; min is the smallest, i.e. k (or 64 for k=0).
         assert_eq!(seq[1], Some(1));
         assert_eq!(seq[0], Some(64));
+    }
+
+    #[test]
+    fn take_accesses_resets_on_read() {
+        let log = TableLog::new(64, 1);
+        on_lane(|lane| {
+            let _ = log.register_read(lane, 1, 1, 1);
+            let _ = log.register_write(lane, 2, 1, 1);
+            let _ = log.register_read(lane, 3, 2, 1);
+        });
+        assert_eq!(log.take_accesses(), 3);
+        // The read consumed the counter: a second take observes zero...
+        assert_eq!(log.take_accesses(), 0);
+        // ...and only new registrations repopulate it.
+        on_lane(|lane| {
+            let _ = log.register_write(lane, 4, 3, 1);
+        });
+        assert_eq!(log.take_accesses(), 1);
+    }
+
+    #[test]
+    fn probe_cost_charged_per_bucket_inspected() {
+        // Regression: `bucket_for` used to charge the probe cost only
+        // after iterating past a bucket owned by another key, so hits,
+        // fresh claims and first-bucket misses were all free. The charge
+        // now lands once per bucket inspected — so even a missing-key
+        // lookup on an empty log (one bucket inspected, then "no record
+        // this epoch") must cost more than not touching the log at all.
+        let cycles_for = |f: &(dyn Fn(&mut Lane<'_>) + Sync)| {
+            let device = Device::new(DeviceConfig::default());
+            device.launch_indexed("probe", 1, f).sim_ns
+        };
+        let log = TableLog::new(64, 1);
+        let baseline = cycles_for(&|_lane| {});
+        let miss = cycles_for(&|lane: &mut Lane<'_>| {
+            assert_eq!(log.min_read(lane, 10, 1), None);
+        });
+        assert!(
+            miss > baseline,
+            "a one-bucket inspection must charge a probe (miss {miss} vs baseline {baseline})"
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::time::Instant;
 
 use ltpg_gpu_sim::{Device, DeviceError, SimAtomicU32};
 use ltpg_storage::{membership_partition, ColId, Database, TableError, TableId, MEMBERSHIP_PARTITION_SHIFT};
+use ltpg_telemetry::{names, Registry};
 use ltpg_txn::exec::{execute_speculative, Mutation, TxnEffects};
 use ltpg_txn::group::{arrival_order, order_by_proc};
 use ltpg_txn::{Batch, BatchEngine, BatchReport};
@@ -59,6 +60,11 @@ mod flag {
     /// Forced abort: the transaction read or overwrote a column that the
     /// configuration maintains commutatively (sound fallback).
     pub const FORCED: u32 = 1 << 4;
+    /// Forced abort: the conflict log ran out of buckets for one of the
+    /// transaction's accesses (log exhaustion — tracked separately from
+    /// the delayed-read fallback so dashboards can tell "log undersized"
+    /// from "workload touched a commutative column").
+    pub const LOG_FULL: u32 = 1 << 5;
 }
 
 /// Outcome of one transaction's execute phase.
@@ -95,12 +101,27 @@ pub struct LtpgEngine {
     /// Tables containing at least one commutatively-maintained column —
     /// deletes against them are force-aborted for soundness.
     commutative_tables: HashSet<TableId>,
+    /// Metrics registry every batch publishes to (phase histograms, abort
+    /// taxonomy, transfer counters, trace spans).
+    telemetry: Arc<Registry>,
+    /// Monotonic simulated clock across batches, used to timestamp phase
+    /// trace spans.
+    sim_clock_ns: f64,
 }
 
 impl LtpgEngine {
-    /// Create an engine over `db` with `cfg`.
+    /// Create an engine over `db` with `cfg`, publishing metrics to the
+    /// process-wide registry ([`ltpg_telemetry::global`]).
     pub fn new(db: Database, cfg: LtpgConfig) -> Self {
+        Self::with_telemetry(db, cfg, Arc::clone(ltpg_telemetry::global()))
+    }
+
+    /// Create an engine over `db` with `cfg`, publishing metrics to a
+    /// caller-owned registry (used by [`crate::LtpgServer`] so concurrent
+    /// servers in one process do not cross-contaminate).
+    pub fn with_telemetry(db: Database, cfg: LtpgConfig, telemetry: Arc<Registry>) -> Self {
         let device = Arc::new(Device::new(cfg.device.clone()));
+        device.set_telemetry(&telemetry);
         let log = ConflictLog::new(&db, &cfg);
         device.register_allocation(db.bytes() + log.bytes());
         let commutative_tables = cfg
@@ -109,7 +130,18 @@ impl LtpgEngine {
             .chain(cfg.delayed_cols.iter())
             .map(|&(t, _)| t)
             .collect();
-        LtpgEngine { db, cfg, device, log, commutative_tables }
+        // Pre-touch the abort-taxonomy and retry counters so exports show
+        // them at zero even before any abort or fault occurs.
+        for name in names::ABORT_REASONS {
+            telemetry.counter(name);
+        }
+        telemetry.counter(names::FAULT_TRANSIENT_RETRIES);
+        LtpgEngine { db, cfg, device, log, commutative_tables, telemetry, sim_clock_ns: 0.0 }
+    }
+
+    /// The registry this engine publishes to.
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
     }
 
     /// The simulated device (for stats and calibration experiments).
@@ -300,7 +332,7 @@ impl LtpgEngine {
                         }
                     }
                     if !registered {
-                        lane.atomic_or_u32(&flags[idx], flag::FORCED);
+                        lane.atomic_or_u32(&flags[idx], flag::LOG_FULL);
                     }
                     outcomes.set(idx, ExecOutcome { normal, delayed, effects: fx });
                 }
@@ -315,7 +347,7 @@ impl LtpgEngine {
         let mut items: Vec<DetectItem> = Vec::new();
         for (idx, out) in outcomes.iter().enumerate() {
             let Some(out) = out else { continue };
-            if flags[idx].load() & (flag::USER | flag::FORCED) != 0 {
+            if flags[idx].load() & (flag::USER | flag::FORCED | flag::LOG_FULL) != 0 {
                 continue;
             }
             for r in &out.effects.reads {
@@ -428,7 +460,7 @@ impl LtpgEngine {
 
         // ---- Phase 3: write-back. ----
         let commit_ok = |f: u32| -> bool {
-            if f & (flag::USER | flag::FORCED | flag::WAW) != 0 {
+            if f & (flag::USER | flag::FORCED | flag::LOG_FULL | flag::WAW) != 0 {
                 return false;
             }
             if self.cfg.opts.logical_reordering {
@@ -566,7 +598,12 @@ impl LtpgEngine {
             match self.device.try_d2h(stats.bytes_d2h) {
                 Ok(ns) => break ns,
                 Err(e @ DeviceError::DeviceLost { .. }) => return Err(e),
-                Err(DeviceError::TransientTransfer { .. }) => stats.d2h_retries += 1,
+                Err(DeviceError::TransientTransfer { .. }) => {
+                    // Count on the registry immediately — a later device
+                    // loss must not erase retries that already happened.
+                    stats.d2h_retries += 1;
+                    self.telemetry.counter(names::FAULT_TRANSIENT_RETRIES).inc();
+                }
             }
         };
 
@@ -578,6 +615,8 @@ impl LtpgEngine {
         stats.page_faults = exec_report.page_faults + detect_report.page_faults + wb_report.page_faults;
         stats.delayed_read_aborts =
             (0..n).filter(|&i| flags[i].load() & flag::FORCED != 0).count() as u64;
+        stats.log_exhausted_aborts =
+            (0..n).filter(|&i| flags[i].load() & flag::LOG_FULL != 0).count() as u64;
 
         let mut committed = Vec::new();
         let mut aborted = Vec::new();
@@ -588,15 +627,84 @@ impl LtpgEngine {
                 aborted.push(txn.tid);
             }
         }
+        self.publish_batch(&stats, &flags, &committed_flags, items.len() as u64);
         let report = BatchReport {
             committed,
             aborted,
             sim_ns: stats.total_ns(),
+            critical_path_ns: stats.critical_path_ns(),
             transfer_ns: stats.transfer_ns(),
             wall_ns: wall_start.elapsed().as_nanos() as u64,
             semantics: ltpg_txn::engine::CommitSemantics::SnapshotBatch,
         };
         Ok(ReportWithStats { report, stats })
+    }
+
+    /// Publish one batch's phase breakdown, abort taxonomy, conflict-log
+    /// occupancy and phase trace spans to the engine's registry.
+    fn publish_batch(
+        &mut self,
+        stats: &LtpgBatchStats,
+        flags: &[SimAtomicU32],
+        committed_flags: &[bool],
+        detect_items: u64,
+    ) {
+        let reg = &self.telemetry;
+        stats.publish(reg);
+
+        // Abort taxonomy. Delayed-read and log-exhaustion forced aborts are
+        // already counted by `stats.publish`; here the conflict losers are
+        // classified. A RAW ∧ WAR pair under logical reordering is a
+        // "reorder rejected" (both escape hatches closed); every other
+        // conflict abort lost to a smaller TID outright.
+        let mut user = 0u64;
+        let mut conflict_loser = 0u64;
+        let mut reorder_rejected = 0u64;
+        for (i, &ok) in committed_flags.iter().enumerate() {
+            if ok {
+                continue;
+            }
+            let f = flags[i].load();
+            if f & flag::USER != 0 {
+                user += 1;
+            } else if f & (flag::FORCED | flag::LOG_FULL) != 0 {
+                // Counted via stats.publish.
+            } else if f & flag::WAW != 0 {
+                conflict_loser += 1;
+            } else if self.cfg.opts.logical_reordering
+                && f & flag::RAW != 0
+                && f & flag::WAR != 0
+            {
+                reorder_rejected += 1;
+            } else {
+                conflict_loser += 1;
+            }
+        }
+        reg.counter(names::ABORT_USER).add(user);
+        reg.counter(names::ABORT_CONFLICT_LOSER).add(conflict_loser);
+        reg.counter(names::ABORT_REORDER_REJECTED).add(reorder_rejected);
+
+        // Conflict-log occupancy: device bytes held right now (gauge) and
+        // accesses recorded this batch (one detect item per registered
+        // access).
+        reg.gauge(names::LTPG_CONFLICT_LOG_BYTES).set(self.log.bytes() as i64);
+        reg.counter(names::LTPG_CONFLICT_LOG_ACCESSES).add(detect_items);
+
+        // Phase trace: consecutive spans on the engine's simulated clock.
+        let trace = reg.trace();
+        let mut at = self.sim_clock_ns;
+        for (name, dur) in [
+            ("ltpg.h2d", stats.h2d_ns),
+            ("ltpg.execute", stats.execute_ns),
+            ("ltpg.detect", stats.detect_ns),
+            ("ltpg.writeback", stats.writeback_ns),
+            ("ltpg.sync", stats.sync_ns),
+            ("ltpg.d2h", stats.d2h_ns),
+        ] {
+            trace.record(name, at, dur);
+            at += dur;
+        }
+        self.sim_clock_ns = at;
     }
 }
 
@@ -903,6 +1011,11 @@ mod tests {
         assert!(s.bytes_h2d > 0 && s.bytes_d2h > 0);
         assert!((rws.report.sim_ns - s.total_ns()).abs() < 1e-9);
         assert!(rws.report.transfer_ns < rws.report.sim_ns);
+        // Every phase is non-zero, so the pipelined critical path (the
+        // bottleneck stage) is strictly below the serial six-phase sum.
+        assert!((rws.report.critical_path_ns - s.critical_path_ns()).abs() < 1e-9);
+        assert!(rws.report.critical_path_ns > 0.0);
+        assert!(rws.report.critical_path_ns < rws.report.sim_ns);
     }
 
     #[test]
@@ -997,7 +1110,10 @@ mod tests {
         let txns: Vec<Txn> =
             (0..600).map(|i| Txn::new(ProcId(0), vec![], vec![write(t, i, i)])).collect();
         let pre = db.deep_clone();
-        let mut engine = LtpgEngine::new(db, cfg);
+        // Private registry: the taxonomy assertion below must not race
+        // with other tests publishing to the process-global registry.
+        let mut engine =
+            LtpgEngine::with_telemetry(db, cfg, ltpg_telemetry::Registry::new_shared());
         let mut gen = TidGen::new();
         let batch = Batch::assemble(vec![], txns, &mut gen);
         let rws = engine.execute_batch_report(&batch);
@@ -1005,7 +1121,13 @@ mod tests {
         // committed subset is serializable.
         assert!(!rws.report.aborted.is_empty(), "tiny log must overflow");
         assert!(!rws.report.committed.is_empty());
-        assert!(rws.stats.delayed_read_aborts > 0, "overflow counts as forced aborts");
+        assert!(rws.stats.log_exhausted_aborts > 0, "overflow counts as log-exhausted aborts");
+        assert_eq!(rws.stats.delayed_read_aborts, 0, "no commutative columns in play");
+        // The taxonomy counter mirrors the per-batch stat.
+        assert_eq!(
+            engine.telemetry().counter_value(ltpg_telemetry::names::ABORT_LOG_EXHAUSTED),
+            rws.stats.log_exhausted_aborts
+        );
         let committed: Vec<&Txn> =
             rws.report.committed.iter().map(|t| batch.by_tid(*t).unwrap()).collect();
         check_snapshot_serializable(&pre, &committed, engine.database()).unwrap();

@@ -223,6 +223,11 @@ impl DurabilityManager {
             let _ = engine.execute_batch(&batch);
             stats.frames_replayed += 1;
         }
+        let reg = ltpg_telemetry::global();
+        reg.counter(ltpg_telemetry::names::WAL_FRAMES_REPLAYED)
+            .add(stats.frames_replayed);
+        reg.counter(ltpg_telemetry::names::WAL_BYTES_TRUNCATED)
+            .add(stats.bytes_truncated);
         Ok(stats)
     }
 

@@ -27,11 +27,13 @@
 //! [`LtpgServer::stats`].
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use ltpg_baselines::CpuFallbackEngine;
 use ltpg_gpu_sim::{DeviceError, DeviceFaultPlan};
 use ltpg_storage::Database;
-use ltpg_txn::{Batch, BatchEngine, Tid, TidGen, Txn};
+use ltpg_telemetry::{names, Registry};
+use ltpg_txn::{Batch, BatchEngine, BatchReport, Tid, TidGen, Txn};
 
 use crate::config::LtpgConfig;
 use crate::engine::LtpgEngine;
@@ -54,7 +56,9 @@ pub struct ServerConfig {
     /// How many times to re-issue a batch whose upload failed transiently
     /// before declaring the device unusable.
     pub max_transient_retries: u32,
-    /// Simulated backoff before the first retry, ns; doubles per attempt.
+    /// Simulated backoff before the first retry, ns; doubles per attempt
+    /// (the doubling exponent is clamped so arbitrarily high retry limits
+    /// cannot overflow).
     pub retry_backoff_ns: f64,
 }
 
@@ -84,8 +88,34 @@ pub struct ServerStats {
     pub abort_events: u64,
     /// Total simulated device time, ns.
     pub sim_ns: f64,
-    /// Fault-handling counters (all zero in fault-free operation).
+    /// Fault-handling counters (all zero in fault-free operation). A view
+    /// over the server's telemetry registry, refreshed every tick.
     pub faults: FaultStats,
+}
+
+impl ServerStats {
+    /// Human-readable end-of-run block. [`LtpgServer::summary`] extends
+    /// this with latency percentiles and the abort-reason taxonomy from
+    /// the registry.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "batches executed      {}", self.batches);
+        let _ = writeln!(out, "txns admitted         {}", self.admitted);
+        let _ = writeln!(out, "txns committed        {}", self.committed);
+        let _ = writeln!(out, "abort events          {}", self.abort_events);
+        let _ = writeln!(out, "simulated time        {:.1} us", self.sim_ns / 1e3);
+        let f = &self.faults;
+        let _ = writeln!(
+            out,
+            "faults                {} retries, {:.1} us backoff, {} fallback(s), {} frame(s) truncated",
+            f.transient_retries,
+            f.backoff_ns / 1e3,
+            f.fallback_activations,
+            f.frames_truncated,
+        );
+        out
+    }
 }
 
 /// Outcome of one [`LtpgServer::tick`].
@@ -147,6 +177,13 @@ impl Executor {
             Executor::Cpu(e) => e.name(),
         }
     }
+
+    fn record_telemetry(&self, reg: &Registry, report: &BatchReport) {
+        match self {
+            Executor::Gpu(e) => e.record_telemetry(reg, report),
+            Executor::Cpu(e) => e.record_telemetry(reg, report),
+        }
+    }
 }
 
 /// A batching OLTP server over one [`LtpgEngine`], degrading to a
@@ -165,6 +202,10 @@ pub struct LtpgServer {
     /// re-enters on the next tick.
     requeue: VecDeque<Vec<Txn>>,
     stats: ServerStats,
+    /// This server's private metrics registry: every component under the
+    /// server (device, engine, fault handling) publishes here, so two
+    /// servers in one process never cross-contaminate.
+    telemetry: Arc<Registry>,
 }
 
 impl LtpgServer {
@@ -172,8 +213,18 @@ impl LtpgServer {
     pub fn new(db: Database, engine_cfg: LtpgConfig, cfg: ServerConfig) -> Self {
         assert!(cfg.batch_size > 0, "batch size must be positive");
         let durability = DurabilityManager::new(&db);
+        let telemetry = Registry::new_shared();
+        // Pre-touch the fault counters so a fault-free export still shows
+        // the whole family at zero (dashboards alert on any non-zero).
+        for name in names::FAULT_COUNTERS {
+            telemetry.counter(name);
+        }
         LtpgServer {
-            executor: Executor::Gpu(Box::new(LtpgEngine::new(db, engine_cfg.clone()))),
+            executor: Executor::Gpu(Box::new(LtpgEngine::with_telemetry(
+                db,
+                engine_cfg.clone(),
+                Arc::clone(&telemetry),
+            ))),
             durability,
             cfg,
             engine_cfg,
@@ -181,6 +232,7 @@ impl LtpgServer {
             inbox: VecDeque::new(),
             requeue: VecDeque::new(),
             stats: ServerStats::default(),
+            telemetry,
         }
     }
 
@@ -210,6 +262,43 @@ impl LtpgServer {
     /// Cumulative statistics.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The server's metrics registry (counters, gauges, histograms, phase
+    /// trace).
+    pub fn telemetry(&self) -> &Arc<Registry> {
+        &self.telemetry
+    }
+
+    /// Export every metric and trace span as JSONL (see
+    /// [`ltpg_telemetry::export`] for the line schema).
+    pub fn export_telemetry_jsonl(&self) -> String {
+        self.telemetry.export_jsonl()
+    }
+
+    /// Human-readable end-of-run summary: the cumulative [`ServerStats`]
+    /// block plus batch-latency percentiles and the abort-reason taxonomy
+    /// from the registry.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.stats.summary();
+        let _ = writeln!(out, "executor              {}", self.executor.name());
+        let h = self.telemetry.histogram(names::SERVER_BATCH_NS).snapshot();
+        if h.count > 0 {
+            let _ = writeln!(
+                out,
+                "batch latency         p50 {:.1} us, p95 {:.1} us, p99 {:.1} us (n={})",
+                h.p50 as f64 / 1e3,
+                h.p95 as f64 / 1e3,
+                h.p99 as f64 / 1e3,
+                h.count,
+            );
+        }
+        let _ = writeln!(out, "abort reasons:");
+        for name in names::ABORT_REASONS {
+            let _ = writeln!(out, "  {name:<32} {}", self.telemetry.counter_value(name));
+        }
+        out
     }
 
     /// Name of the executor currently serving batches (`"LTPG"` normally,
@@ -263,11 +352,14 @@ impl LtpgServer {
             .durability
             .replay_onto(&mut cpu, &RecoveryOptions::default(), Some(batch_id))
             .map_err(ServerError::DegradationFailed)?;
-        self.stats.faults.fallback_activations += 1;
+        self.telemetry.counter(names::FAULT_FALLBACK_ACTIVATIONS).inc();
         if replay.torn_tail {
-            self.stats.faults.frames_truncated += 1;
-            self.stats.faults.bytes_truncated += replay.bytes_truncated;
+            self.telemetry.counter(names::FAULT_FRAMES_TRUNCATED).inc();
+            self.telemetry
+                .counter(names::FAULT_BYTES_TRUNCATED)
+                .add(replay.bytes_truncated);
         }
+        self.stats.faults = FaultStats::from_registry(&self.telemetry);
         self.executor = Executor::Cpu(Box::new(cpu));
         match &mut self.executor {
             Executor::Cpu(e) => Ok(e),
@@ -288,21 +380,25 @@ impl LtpgServer {
             let mut attempt = 0u32;
             loop {
                 match engine.try_execute_batch_report(batch) {
-                    Ok(r) => {
-                        self.stats.faults.transient_retries += r.stats.d2h_retries;
-                        return Ok((r.report, backoff_ns));
-                    }
+                    // Download (D2H) retries were already counted on the
+                    // shared registry by the engine's retry loop — even for
+                    // attempts that later died — so nothing to fold here.
+                    Ok(r) => return Ok((r.report, backoff_ns)),
                     // Upload failed before the device touched anything:
                     // the batch never ran, so re-issuing it is safe.
                     Err(DeviceError::TransientTransfer { .. })
                         if attempt < self.cfg.max_transient_retries =>
                     {
                         attempt += 1;
-                        self.stats.faults.transient_retries += 1;
-                        let pause =
-                            self.cfg.retry_backoff_ns * f64::from(1u32 << (attempt - 1));
+                        self.telemetry.counter(names::FAULT_TRANSIENT_RETRIES).inc();
+                        // Exponent clamped: retry limits ≥ 32 used to
+                        // overflow the u32 shift here.
+                        let pause = self.cfg.retry_backoff_ns
+                            * 2f64.powi((attempt - 1).min(30) as i32);
                         backoff_ns += pause;
-                        self.stats.faults.backoff_ns += pause;
+                        self.telemetry
+                            .counter(names::FAULT_BACKOFF_NS)
+                            .add(pause.round() as u64);
                     }
                     // Device loss, or a device so flaky retries ran out:
                     // degrade. The batch is already logged, so the replay
@@ -338,6 +434,7 @@ impl LtpgServer {
     /// [`tick`](Self::tick), surfacing unabsorbable faults as typed
     /// errors instead of panicking.
     pub fn try_tick(&mut self) -> Result<Option<BatchSummary>, ServerError> {
+        self.telemetry.counter(names::SERVER_TICKS).inc();
         let due = self.requeue.pop_front().unwrap_or_default();
         if due.is_empty() && self.inbox.is_empty() {
             if self.requeue.iter().all(Vec::is_empty) {
@@ -365,9 +462,22 @@ impl LtpgServer {
         self.stats.committed += report.committed.len() as u64;
         self.stats.abort_events += report.aborted.len() as u64;
         self.stats.sim_ns += report.sim_ns + backoff_ns;
+        self.stats.faults = FaultStats::from_registry(&self.telemetry);
+        self.telemetry.counter(names::SERVER_BATCHES).inc();
+        self.telemetry
+            .counter(names::SERVER_COMMITTED)
+            .add(report.committed.len() as u64);
+        self.telemetry
+            .counter(names::SERVER_ABORT_EVENTS)
+            .add(report.aborted.len() as u64);
+        self.telemetry
+            .histogram(names::SERVER_BATCH_NS)
+            .record_ns(report.sim_ns + backoff_ns);
+        self.executor.record_telemetry(&self.telemetry, &report);
         if let Some(every) = self.cfg.checkpoint_every {
             if self.stats.batches.is_multiple_of(every as u64) {
                 self.durability.checkpoint(self.executor.database());
+                self.telemetry.counter(names::SERVER_CHECKPOINTS).inc();
             }
         }
 
@@ -384,6 +494,7 @@ impl LtpgServer {
                 .collect();
             self.requeue[delay - 1].extend(retry);
         }
+        self.telemetry.gauge(names::SERVER_PENDING).set(self.pending() as i64);
         Ok(Some(BatchSummary {
             committed: report.committed,
             aborted: report.aborted,
@@ -604,5 +715,76 @@ mod tests {
         assert!(server.is_degraded(), "a hopelessly flaky device must be abandoned");
         assert_eq!(stats.committed, 40);
         assert_eq!(stats.faults.transient_retries, 2);
+    }
+
+    #[test]
+    fn high_retry_limits_do_not_overflow_the_backoff_shift() {
+        // Regression: the backoff doubling used `1u32 << (attempt - 1)`,
+        // which panics in debug builds (and wraps in release) once a
+        // retry limit ≥ 32 lets `attempt` reach 33. The exponent is now
+        // clamped, so a 40-retry policy exhausts cleanly and degrades.
+        let (db, txns) = db_and_writers(40, 4);
+        let mut server = LtpgServer::new(
+            db,
+            LtpgConfig::default(),
+            ServerConfig {
+                batch_size: 20,
+                pipelined: false,
+                max_transient_retries: 40,
+                ..ServerConfig::default()
+            },
+        );
+        server.arm_faults(DeviceFaultPlan {
+            transient_ops: (0u64..64).collect(),
+            lost_at_op: None,
+        });
+        server.submit_all(txns);
+        let stats = server.drain(100).clone();
+        assert!(server.is_degraded());
+        assert_eq!(stats.committed, 40);
+        assert_eq!(stats.faults.transient_retries, 40);
+        assert!(stats.faults.backoff_ns.is_finite() && stats.faults.backoff_ns > 0.0);
+    }
+
+    #[test]
+    fn d2h_retries_survive_a_later_device_loss() {
+        // Regression: download retries used to be folded into the fault
+        // counters only when the attempt ultimately *succeeded*; an attempt
+        // that retried its D2H twice and then hit device loss reported zero
+        // retries. The engine now counts each retry as it happens.
+        //
+        // Ordinals for the first batch: 0 = upload, 1–3 = liveness checks,
+        // 4 = download (transient → retry), 5 = download retry (transient →
+        // retry), 6 = download retry (device lost).
+        let (db, txns) = db_and_writers(40, 4);
+        let mut server = small_server(db, 20, false);
+        server.arm_faults(DeviceFaultPlan {
+            transient_ops: [4u64, 5].into_iter().collect(),
+            lost_at_op: Some(6),
+        });
+        server.submit_all(txns);
+        let stats = server.drain(100).clone();
+        assert!(server.is_degraded(), "the download loss must degrade the server");
+        assert_eq!(stats.committed, 40, "the CPU fallback still drains everything");
+        assert_eq!(
+            stats.faults.transient_retries, 2,
+            "retries from the doomed attempt must not be lost"
+        );
+        assert_eq!(stats.faults.fallback_activations, 1);
+    }
+
+    #[test]
+    fn summary_and_jsonl_export_cover_the_run() {
+        let (db, txns) = db_and_writers(64, 4);
+        let mut server = small_server(db, 16, true);
+        server.submit_all(txns);
+        server.drain(100);
+        let summary = server.summary();
+        assert!(summary.contains("txns committed        64"), "summary:\n{summary}");
+        assert!(summary.contains("batch latency"), "summary:\n{summary}");
+        assert!(summary.contains(names::ABORT_CONFLICT_LOSER), "summary:\n{summary}");
+        let jsonl = server.export_telemetry_jsonl();
+        let lines = ltpg_telemetry::export::validate_jsonl(&jsonl).expect("export must parse");
+        assert!(lines.len() > 10, "expected a populated export, got {} lines", lines.len());
     }
 }

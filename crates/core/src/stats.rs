@@ -1,6 +1,13 @@
 //! Per-batch phase breakdown, the raw material for paper Tables IV, V and
 //! IX and Fig. 6a.
+//!
+//! Since the telemetry migration these structs are *views*: the registry
+//! ([`ltpg_telemetry::Registry`]) is the system of record for cumulative
+//! counters, and [`LtpgBatchStats::publish`] / [`FaultStats::from_registry`]
+//! convert between the per-batch structs bench tables consume and the
+//! dashboard-facing metric stream.
 
+use ltpg_telemetry::{names, Registry};
 use ltpg_txn::BatchReport;
 
 /// Detailed simulated timings and counters for one LTPG batch.
@@ -33,6 +40,10 @@ pub struct LtpgBatchStats {
     /// Transactions force-aborted for reading a delayed column (sound
     /// fallback; should be zero for well-configured workloads).
     pub delayed_read_aborts: u64,
+    /// Transactions force-aborted because the conflict log had no free
+    /// bucket for one of their accesses (log exhaustion — distinct from
+    /// the delayed-read fallback above).
+    pub log_exhausted_aborts: u64,
     /// Commutative deltas folded at write-back.
     pub delayed_ops_applied: u64,
     /// Result-download (D2H) copies re-issued after a transient transfer
@@ -41,14 +52,51 @@ pub struct LtpgBatchStats {
 }
 
 impl LtpgBatchStats {
-    /// Total simulated batch latency (parameters-in to results-out).
+    /// Total simulated batch latency (parameters-in to results-out) as the
+    /// *serial* sum of the six phases. Honest for a single isolated batch;
+    /// an overstatement of steady-state latency when the engine pipelines
+    /// transfers against compute — use [`Self::critical_path_ns`] there.
     pub fn total_ns(&self) -> f64 {
         self.h2d_ns + self.execute_ns + self.detect_ns + self.writeback_ns + self.sync_ns + self.d2h_ns
+    }
+
+    /// Compute-only portion: the three kernels plus synchronization.
+    pub fn compute_ns(&self) -> f64 {
+        self.execute_ns + self.detect_ns + self.writeback_ns + self.sync_ns
+    }
+
+    /// Steady-state per-batch latency under the three-stage transfer
+    /// pipeline (upload ∥ compute ∥ download): the bottleneck stage's
+    /// cost, which is what each additional batch adds to the makespan.
+    pub fn critical_path_ns(&self) -> f64 {
+        self.h2d_ns.max(self.compute_ns()).max(self.d2h_ns)
     }
 
     /// Transfer-only portion (paper Table IV's second number).
     pub fn transfer_ns(&self) -> f64 {
         self.h2d_ns + self.d2h_ns
+    }
+
+    /// Publish this batch's breakdown to a metrics registry: per-phase
+    /// latency histograms, byte/atomic/fault counters, and the
+    /// delayed-update + abort tallies.
+    pub fn publish(&self, reg: &Registry) {
+        reg.histogram(names::LTPG_PHASE_H2D_NS).record_ns(self.h2d_ns);
+        reg.histogram(names::LTPG_PHASE_EXECUTE_NS).record_ns(self.execute_ns);
+        reg.histogram(names::LTPG_PHASE_DETECT_NS).record_ns(self.detect_ns);
+        reg.histogram(names::LTPG_PHASE_WRITEBACK_NS)
+            .record_ns(self.writeback_ns);
+        reg.histogram(names::LTPG_PHASE_SYNC_NS).record_ns(self.sync_ns);
+        reg.histogram(names::LTPG_PHASE_D2H_NS).record_ns(self.d2h_ns);
+        reg.histogram(names::LTPG_BATCH_TOTAL_NS).record_ns(self.total_ns());
+        reg.histogram(names::LTPG_BATCH_CRITICAL_NS)
+            .record_ns(self.critical_path_ns());
+        reg.counter(names::LTPG_BYTES_H2D).add(self.bytes_h2d);
+        reg.counter(names::LTPG_BYTES_D2H).add(self.bytes_d2h);
+        reg.counter(names::LTPG_DELAYED_OPS_APPLIED)
+            .add(self.delayed_ops_applied);
+        reg.counter(names::ABORT_DELAYED_READ).add(self.delayed_read_aborts);
+        reg.counter(names::ABORT_LOG_EXHAUSTED).add(self.log_exhausted_aborts);
     }
 }
 
@@ -69,6 +117,20 @@ pub struct FaultStats {
     /// Times the server abandoned the device and rebuilt state on the CPU
     /// fallback executor.
     pub fallback_activations: u64,
+}
+
+impl FaultStats {
+    /// Materialize the struct view from a registry's `faults.*` counters
+    /// (the system of record since the telemetry migration).
+    pub fn from_registry(reg: &Registry) -> Self {
+        Self {
+            transient_retries: reg.counter_value(names::FAULT_TRANSIENT_RETRIES),
+            backoff_ns: reg.counter_value(names::FAULT_BACKOFF_NS) as f64,
+            frames_truncated: reg.counter_value(names::FAULT_FRAMES_TRUNCATED),
+            bytes_truncated: reg.counter_value(names::FAULT_BYTES_TRUNCATED),
+            fallback_activations: reg.counter_value(names::FAULT_FALLBACK_ACTIVATIONS),
+        }
+    }
 }
 
 /// A [`BatchReport`] bundled with the LTPG-specific phase breakdown.
@@ -97,5 +159,39 @@ mod tests {
         };
         assert!((s.total_ns() - 21.0).abs() < 1e-12);
         assert!((s.transfer_ns() - 7.0).abs() < 1e-12);
+        // Compute (2+3+4+5 = 14) dominates both transfers, so the pipelined
+        // critical path is the compute stage — strictly below the serial sum.
+        assert!((s.critical_path_ns() - 14.0).abs() < 1e-12);
+        assert!(s.critical_path_ns() < s.total_ns());
+    }
+
+    #[test]
+    fn critical_path_is_bottleneck_stage() {
+        // Transfer-bound batch: the H2D upload dominates.
+        let s = LtpgBatchStats {
+            h2d_ns: 100.0,
+            execute_ns: 10.0,
+            detect_ns: 5.0,
+            writeback_ns: 5.0,
+            sync_ns: 1.0,
+            d2h_ns: 40.0,
+            ..LtpgBatchStats::default()
+        };
+        assert!((s.critical_path_ns() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_stats_round_trip_through_registry() {
+        let reg = Registry::new();
+        reg.counter(names::FAULT_TRANSIENT_RETRIES).add(3);
+        reg.counter(names::FAULT_BACKOFF_NS).add(5_000);
+        reg.counter(names::FAULT_FALLBACK_ACTIVATIONS).inc();
+        let f = FaultStats::from_registry(&reg);
+        assert_eq!(f.transient_retries, 3);
+        assert!((f.backoff_ns - 5_000.0).abs() < 1e-12);
+        assert_eq!(f.fallback_activations, 1);
+        assert_eq!(f.frames_truncated, 0);
+        // A registry with no fault activity reads back as the default view.
+        assert_eq!(FaultStats::from_registry(&Registry::new()), FaultStats::default());
     }
 }

@@ -3,6 +3,9 @@
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ltpg_telemetry::{names, Counter, Histogram, Registry};
 
 use crate::cost::CostModel;
 use crate::faults::{DeviceError, DeviceFaultPlan};
@@ -67,6 +70,45 @@ impl DeviceConfig {
     }
 }
 
+/// Cached telemetry handles for the device's hot paths. Rebinding (see
+/// [`Device::set_telemetry`]) swaps the whole block so per-launch updates
+/// never pay a registry lookup.
+pub(crate) struct DeviceTelemetry {
+    pub(crate) kernel_launches: Arc<Counter>,
+    pub(crate) kernel_ns: Arc<Histogram>,
+    pub(crate) bytes_h2d: Arc<Counter>,
+    pub(crate) bytes_d2h: Arc<Counter>,
+    pub(crate) transfer_ns: Arc<Histogram>,
+    pub(crate) atomic_ops: Arc<Counter>,
+    pub(crate) atomic_serial_depth: Arc<Counter>,
+    pub(crate) divergent_warps: Arc<Counter>,
+    pub(crate) page_faults: Arc<Counter>,
+    pub(crate) syncs: Arc<Counter>,
+}
+
+impl DeviceTelemetry {
+    fn bind(reg: &Registry) -> Self {
+        DeviceTelemetry {
+            kernel_launches: reg.counter(names::GPU_KERNEL_LAUNCHES),
+            kernel_ns: reg.histogram(names::GPU_KERNEL_NS),
+            bytes_h2d: reg.counter(names::GPU_BYTES_H2D),
+            bytes_d2h: reg.counter(names::GPU_BYTES_D2H),
+            transfer_ns: reg.histogram(names::GPU_TRANSFER_NS),
+            atomic_ops: reg.counter(names::GPU_ATOMIC_OPS),
+            atomic_serial_depth: reg.counter(names::GPU_ATOMIC_SERIAL_DEPTH),
+            divergent_warps: reg.counter(names::GPU_DIVERGENT_WARPS),
+            page_faults: reg.counter(names::GPU_PAGE_FAULTS),
+            syncs: reg.counter(names::GPU_SYNCS),
+        }
+    }
+}
+
+impl std::fmt::Debug for DeviceTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DeviceTelemetry {{ .. }}")
+    }
+}
+
 /// A simulated GPU. Cheap to share by reference; all mutation is interior.
 #[derive(Debug)]
 pub struct Device {
@@ -82,6 +124,9 @@ pub struct Device {
     fault_op: AtomicU64,
     /// Sticky device-lost flag.
     failed: AtomicBool,
+    /// Where device-level metrics are published (defaults to the process
+    /// global registry until a server rebinds it to its own).
+    pub(crate) telemetry: Mutex<DeviceTelemetry>,
 }
 
 impl Device {
@@ -95,7 +140,14 @@ impl Device {
             fault_plan: Mutex::new(DeviceFaultPlan::none()),
             fault_op: AtomicU64::new(0),
             failed: AtomicBool::new(false),
+            telemetry: Mutex::new(DeviceTelemetry::bind(ltpg_telemetry::global())),
         }
+    }
+
+    /// Rebind device metrics to `reg` (e.g. a server instance's registry).
+    /// Counts published before the rebind stay in the previous registry.
+    pub fn set_telemetry(&self, reg: &Registry) {
+        *self.telemetry.lock() = DeviceTelemetry::bind(reg);
     }
 
     /// Arm a deterministic fault schedule. Replaces any previous plan and
@@ -200,9 +252,12 @@ impl Device {
     /// Record a `cudaDeviceSynchronize()`-style barrier. LTPG calls this
     /// between its three phase kernels (paper Algorithm 1, lines 2/4/6).
     pub fn synchronize(&self) {
-        let mut s = self.stats.lock();
-        s.syncs += 1;
-        s.busy_ns += self.cfg.cost.device_sync_ns;
+        {
+            let mut s = self.stats.lock();
+            s.syncs += 1;
+            s.busy_ns += self.cfg.cost.device_sync_ns;
+        }
+        self.telemetry.lock().syncs.inc();
     }
 
     /// Charge a host→device copy of `bytes`; returns its simulated duration.
@@ -210,18 +265,28 @@ impl Device {
     /// should instead combine durations through [`crate::transfer::Pipeline`].
     pub fn h2d(&self, bytes: u64) -> f64 {
         let ns = self.cfg.cost.transfer_ns(bytes);
-        let mut s = self.stats.lock();
-        s.bytes_h2d += bytes;
-        s.busy_ns += ns;
+        {
+            let mut s = self.stats.lock();
+            s.bytes_h2d += bytes;
+            s.busy_ns += ns;
+        }
+        let t = self.telemetry.lock();
+        t.bytes_h2d.add(bytes);
+        t.transfer_ns.record_ns(ns);
         ns
     }
 
     /// Charge a device→host copy of `bytes`; returns its simulated duration.
     pub fn d2h(&self, bytes: u64) -> f64 {
         let ns = self.cfg.cost.transfer_ns(bytes);
-        let mut s = self.stats.lock();
-        s.bytes_d2h += bytes;
-        s.busy_ns += ns;
+        {
+            let mut s = self.stats.lock();
+            s.bytes_d2h += bytes;
+            s.busy_ns += ns;
+        }
+        let t = self.telemetry.lock();
+        t.bytes_d2h.add(bytes);
+        t.transfer_ns.record_ns(ns);
         ns
     }
 

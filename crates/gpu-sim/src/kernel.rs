@@ -418,6 +418,15 @@ impl Device {
             s.global_words_written += agg.counters.words_written;
             s.page_faults += faults;
         }
+        {
+            let t = self.telemetry.lock();
+            t.kernel_launches.inc();
+            t.kernel_ns.record_ns(sim_ns);
+            t.atomic_ops.add(agg.counters.atomic_ops);
+            t.atomic_serial_depth.add(agg.counters.serial_depth);
+            t.divergent_warps.add(agg.divergent);
+            t.page_faults.add(faults);
+        }
 
         KernelReport {
             name,

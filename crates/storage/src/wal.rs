@@ -217,6 +217,9 @@ impl BatchLog {
         let rec = BatchRecord { batch_id, tids, payload };
         let frame = rec.encode();
         self.bytes_written.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let reg = ltpg_telemetry::global();
+        reg.counter(ltpg_telemetry::names::WAL_FRAMES_APPENDED).inc();
+        reg.counter(ltpg_telemetry::names::WAL_BYTES_APPENDED).add(frame.len() as u64);
         // Lock order: disk before records, matching every other method
         // that takes both.
         let mut disk = self.disk.lock();

@@ -1,0 +1,247 @@
+//! Fixed-bucket log-scale histogram with quantile readout.
+//!
+//! Buckets follow an HDR-style layout: values `0..4` get exact buckets, and
+//! every further power-of-two octave is split into four sub-buckets keyed by
+//! the two bits below the leading one. Relative bucket error is therefore at
+//! most 25% across the whole range, with a fixed memory footprint and
+//! wait-free recording (one `fetch_add` per sample).
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 2;
+const SUBS: u64 = 1 << SUB_BITS;
+/// Total bucket count: exact buckets for `0..SUBS`, then 4 sub-buckets per
+/// octave up to `u64::MAX` (octaves `SUB_BITS..64`), plus nothing else — the
+/// top bucket absorbs any overflow.
+const BUCKETS: usize = (SUBS + (64 - SUB_BITS as u64) * SUBS) as usize;
+
+/// Map a sample to its bucket index. Monotone non-decreasing in `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS {
+        return v as usize;
+    }
+    let oct = 63 - u64::from(v.leading_zeros());
+    let sub = (v >> (oct - u64::from(SUB_BITS))) & (SUBS - 1);
+    let idx = (oct - u64::from(SUB_BITS) + 1) * SUBS + sub;
+    (idx as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `idx` (the smallest value that maps there).
+fn bucket_lower(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        return idx;
+    }
+    let oct = idx / SUBS + u64::from(SUB_BITS) - 1;
+    let sub = idx % SUBS;
+    (1 << oct) + (sub << (oct - u64::from(SUB_BITS)))
+}
+
+/// Inclusive upper bound of bucket `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(idx + 1) - 1
+    }
+}
+
+/// A wait-free log-scale histogram of `u64` samples (typically nanoseconds).
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Record a simulated-time duration expressed in (possibly fractional)
+    /// nanoseconds. Negative or non-finite samples are clamped to zero.
+    pub fn record_ns(&self, ns: f64) {
+        let v = if ns.is_finite() && ns > 0.0 { ns.round() as u64 } else { 0 };
+        self.record(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) as the upper bound of the
+    /// bucket containing the ranked sample, clamped to the observed maximum.
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c.load(Relaxed);
+            if seen >= rank {
+                return Some(bucket_upper(idx).min(self.max.load(Relaxed)));
+            }
+        }
+        Some(self.max.load(Relaxed))
+    }
+
+    /// Take a consistent-enough snapshot for export (metrics are monotone, so
+    /// slight skew between fields under concurrent writers is acceptable).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let buckets = self
+            .counts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, c)| {
+                let n = c.load(Relaxed);
+                (n > 0).then_some((bucket_lower(idx), n))
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 { 0 } else { self.min.load(Relaxed) },
+            max: self.max.load(Relaxed),
+            p50: self.quantile(0.50).unwrap_or(0),
+            p95: self.quantile(0.95).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+            buckets,
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`], used by the JSONL exporter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 95th percentile.
+    pub p95: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// `(bucket_lower_bound, sample_count)` for every non-empty bucket,
+    /// ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_get_exact_buckets() {
+        for v in 0..4u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_range_without_gaps() {
+        // Every bucket's upper bound is one below the next bucket's lower
+        // bound, and the index function maps both bounds back to the bucket.
+        for idx in 0..BUCKETS - 1 {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo <= hi, "bucket {idx}: {lo} > {hi}");
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+            assert_eq!(bucket_lower(idx + 1), hi + 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        // Within one octave the bucket width is a quarter of the octave base,
+        // so upper/lower <= 1.25 for all buckets past the exact range.
+        for idx in 4..BUCKETS - 1 {
+            let lo = bucket_lower(idx) as f64;
+            let hi = bucket_upper(idx) as f64;
+            assert!(hi / lo <= 1.25 + 1e-12, "bucket {idx}: {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_the_cumulative_distribution() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.50).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Log-scale buckets: the estimate must bracket the true quantile
+        // within one bucket (<= 25% high, never below the true rank value).
+        assert!((500..=625).contains(&p50), "p50 = {p50}");
+        assert!((990..=1000).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0).unwrap() == 1000);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn record_ns_clamps_pathological_samples() {
+        let h = Histogram::new();
+        h.record_ns(-5.0);
+        h.record_ns(f64::NAN);
+        h.record_ns(1536.4);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 0);
+        assert!(s.max >= 1536);
+    }
+}

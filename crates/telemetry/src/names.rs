@@ -1,0 +1,135 @@
+//! Canonical metric names.
+//!
+//! Every crate that reports a quantity refers to it through these constants
+//! so the JSONL export keys stay consistent across the stack and tests can
+//! assert on them without string drift. The prefix encodes the layer that
+//! owns the metric: `gpu.*` (simulated device), `ltpg.*` (the LTPG engine),
+//! `server.*` (tick/retry/degradation loop), `wal.*` (durability), `faults.*`
+//! (the dashboard-alertable fault counters mirrored by `FaultStats`) and
+//! `engine.<name>.*` (the per-`BatchEngine` hook, including CPU baselines).
+
+// --- simulated device -------------------------------------------------------
+
+/// Counter: kernel launches completed on the simulated device.
+pub const GPU_KERNEL_LAUNCHES: &str = "gpu.kernel.launches";
+/// Histogram: simulated nanoseconds per kernel launch.
+pub const GPU_KERNEL_NS: &str = "gpu.kernel.ns";
+/// Counter: bytes copied host-to-device.
+pub const GPU_BYTES_H2D: &str = "gpu.bytes_h2d";
+/// Counter: bytes copied device-to-host.
+pub const GPU_BYTES_D2H: &str = "gpu.bytes_d2h";
+/// Histogram: simulated nanoseconds per transfer (either direction).
+pub const GPU_TRANSFER_NS: &str = "gpu.transfer.ns";
+/// Counter: global-memory atomic operations executed by kernels.
+pub const GPU_ATOMIC_OPS: &str = "gpu.atomic.ops";
+/// Counter: cumulative atomic serialization depth (conflict stalls).
+pub const GPU_ATOMIC_SERIAL_DEPTH: &str = "gpu.atomic.serial_depth";
+/// Counter: warps that diverged at least once during a launch.
+pub const GPU_DIVERGENT_WARPS: &str = "gpu.divergent_warps";
+/// Counter: demand page faults (unified-memory oversubscription).
+pub const GPU_PAGE_FAULTS: &str = "gpu.page_faults";
+/// Counter: explicit device synchronizations.
+pub const GPU_SYNCS: &str = "gpu.syncs";
+
+// --- LTPG engine ------------------------------------------------------------
+
+/// Histogram: simulated ns spent uploading a batch (H2D).
+pub const LTPG_PHASE_H2D_NS: &str = "ltpg.phase.h2d_ns";
+/// Histogram: simulated ns in the execute phase.
+pub const LTPG_PHASE_EXECUTE_NS: &str = "ltpg.phase.execute_ns";
+/// Histogram: simulated ns in the conflict-detection phase.
+pub const LTPG_PHASE_DETECT_NS: &str = "ltpg.phase.detect_ns";
+/// Histogram: simulated ns in the writeback phase.
+pub const LTPG_PHASE_WRITEBACK_NS: &str = "ltpg.phase.writeback_ns";
+/// Histogram: simulated ns in device synchronization between phases.
+pub const LTPG_PHASE_SYNC_NS: &str = "ltpg.phase.sync_ns";
+/// Histogram: simulated ns spent downloading results (D2H).
+pub const LTPG_PHASE_D2H_NS: &str = "ltpg.phase.d2h_ns";
+/// Histogram: naive serial per-batch latency (sum of all phases).
+pub const LTPG_BATCH_TOTAL_NS: &str = "ltpg.batch.total_ns";
+/// Histogram: pipelined per-batch critical-path latency.
+pub const LTPG_BATCH_CRITICAL_NS: &str = "ltpg.batch.critical_ns";
+/// Counter: bytes uploaded per batch, accumulated.
+pub const LTPG_BYTES_H2D: &str = "ltpg.bytes_h2d";
+/// Counter: bytes downloaded per batch, accumulated.
+pub const LTPG_BYTES_D2H: &str = "ltpg.bytes_d2h";
+/// Counter: delayed (commutative) operations merged at writeback.
+pub const LTPG_DELAYED_OPS_APPLIED: &str = "ltpg.delayed_ops_applied";
+/// Gauge: bytes currently allocated to the device-resident conflict log.
+pub const LTPG_CONFLICT_LOG_BYTES: &str = "ltpg.conflict_log.bytes";
+/// Counter: conflict-log bucket registrations (host-observed accesses).
+pub const LTPG_CONFLICT_LOG_ACCESSES: &str = "ltpg.conflict_log.accesses";
+
+// --- abort-reason taxonomy --------------------------------------------------
+
+/// Counter: transactions aborted because they lost a WAW/RAW race.
+pub const ABORT_CONFLICT_LOSER: &str = "ltpg.aborts.conflict_loser";
+/// Counter: transactions aborted because the conflict log ran out of slots.
+pub const ABORT_LOG_EXHAUSTED: &str = "ltpg.aborts.log_exhausted";
+/// Counter: transactions force-aborted for reading a commutatively-delayed value.
+pub const ABORT_DELAYED_READ: &str = "ltpg.aborts.delayed_read";
+/// Counter: transactions whose RAW∧WAR pattern defeated logical reordering.
+pub const ABORT_REORDER_REJECTED: &str = "ltpg.aborts.reorder_rejected";
+/// Counter: transactions aborted by user logic (explicit abort).
+pub const ABORT_USER: &str = "ltpg.aborts.user";
+
+/// All abort-reason counters, in export order. Handy for summaries and tests.
+pub const ABORT_REASONS: [&str; 5] = [
+    ABORT_CONFLICT_LOSER,
+    ABORT_LOG_EXHAUSTED,
+    ABORT_DELAYED_READ,
+    ABORT_REORDER_REJECTED,
+    ABORT_USER,
+];
+
+// --- server -----------------------------------------------------------------
+
+/// Counter: server ticks that executed a batch.
+pub const SERVER_TICKS: &str = "server.ticks";
+/// Counter: batches executed by the server (incl. degraded ones).
+pub const SERVER_BATCHES: &str = "server.batches";
+/// Counter: transactions committed by the server.
+pub const SERVER_COMMITTED: &str = "server.committed";
+/// Counter: abort events observed by the server.
+pub const SERVER_ABORT_EVENTS: &str = "server.abort_events";
+/// Histogram: per-batch simulated latency as observed by the server
+/// (includes retry backoff pauses).
+pub const SERVER_BATCH_NS: &str = "server.batch_ns";
+/// Gauge: transactions admitted but not yet executed.
+pub const SERVER_PENDING: &str = "server.pending";
+/// Counter: checkpoints taken.
+pub const SERVER_CHECKPOINTS: &str = "server.checkpoints";
+
+// --- durability -------------------------------------------------------------
+
+/// Counter: frames appended to the write-ahead log.
+pub const WAL_FRAMES_APPENDED: &str = "wal.frames_appended";
+/// Counter: bytes appended to the write-ahead log.
+pub const WAL_BYTES_APPENDED: &str = "wal.bytes_appended";
+/// Counter: frames replayed during crash recovery.
+pub const WAL_FRAMES_REPLAYED: &str = "wal.recovery.frames_replayed";
+/// Counter: torn-tail bytes truncated during crash recovery.
+pub const WAL_BYTES_TRUNCATED: &str = "wal.recovery.bytes_truncated";
+
+// --- fault counters (mirrored by `FaultStats`) ------------------------------
+
+/// Counter: transient device faults absorbed by retrying (uploads, downloads
+/// and whole-attempt retries alike).
+pub const FAULT_TRANSIENT_RETRIES: &str = "faults.transient_retries";
+/// Counter: simulated nanoseconds spent in retry backoff (stored as integer ns).
+pub const FAULT_BACKOFF_NS: &str = "faults.backoff_ns";
+/// Counter: torn WAL frames dropped during degraded recovery.
+pub const FAULT_FRAMES_TRUNCATED: &str = "faults.frames_truncated";
+/// Counter: bytes truncated from the WAL during degraded recovery.
+pub const FAULT_BYTES_TRUNCATED: &str = "faults.bytes_truncated";
+/// Counter: graceful degradations to the CPU fallback engine.
+pub const FAULT_FALLBACK_ACTIVATIONS: &str = "faults.fallback_activations";
+
+/// All fault counters, in export order.
+pub const FAULT_COUNTERS: [&str; 5] = [
+    FAULT_TRANSIENT_RETRIES,
+    FAULT_BACKOFF_NS,
+    FAULT_FRAMES_TRUNCATED,
+    FAULT_BYTES_TRUNCATED,
+    FAULT_FALLBACK_ACTIVATIONS,
+];

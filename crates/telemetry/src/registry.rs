@@ -1,0 +1,230 @@
+//! Named-metric registry: counters, gauges and histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::Histogram;
+use crate::trace::{Span, TraceLog};
+
+/// A monotone `u64` counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A signed gauge holding the latest observation of some level quantity.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Replace the current value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Adjust the current value by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Default capacity of the registry's trace ring buffer.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// A registry of named metrics plus a bounded trace log.
+///
+/// Lookups take a read lock on a `BTreeMap` (deterministic export order);
+/// hot paths should cache the returned `Arc` handles and update those
+/// directly — updates themselves are wait-free atomics.
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    trace: TraceLog,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Create an empty registry with the default trace capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Create an empty registry whose trace ring buffer holds at most
+    /// `cap` events (older events are evicted first).
+    pub fn with_trace_capacity(cap: usize) -> Self {
+        Self {
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+            trace: TraceLog::new(cap),
+        }
+    }
+
+    /// Convenience: a freshly created registry behind an `Arc`.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Fetch-or-create the counter `name`. Creating registers it at zero, so
+    /// pre-touching a counter makes it appear in exports even if never hit.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().unwrap().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.counters
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Fetch-or-create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(
+            self.gauges
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_default(),
+        )
+    }
+
+    /// Fetch-or-create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().unwrap().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .unwrap()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Current value of counter `name`, or 0 when it was never registered.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .read()
+            .unwrap()
+            .get(name)
+            .map_or(0, |c| c.get())
+    }
+
+    /// Current value of gauge `name`, or 0 when it was never registered.
+    pub fn gauge_value(&self, name: &str) -> i64 {
+        self.gauges
+            .read()
+            .unwrap()
+            .get(name)
+            .map_or(0, |g| g.get())
+    }
+
+    /// The registry's bounded trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Start a wall-clock span that records into [`Registry::trace`] when
+    /// dropped. Simulated-time phases should use [`TraceLog::record`] instead.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        self.trace.span(name)
+    }
+
+    /// Render every metric plus the trace buffer as JSON Lines.
+    /// See [`crate::export`] for the schema.
+    pub fn export_jsonl(&self) -> String {
+        crate::export::export_jsonl(self)
+    }
+
+    /// Visit all counters in name order.
+    pub(crate) fn for_each_counter(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, c) in self.counters.read().unwrap().iter() {
+            f(name, c.get());
+        }
+    }
+
+    /// Visit all gauges in name order.
+    pub(crate) fn for_each_gauge(&self, mut f: impl FnMut(&str, i64)) {
+        for (name, g) in self.gauges.read().unwrap().iter() {
+            f(name, g.get());
+        }
+    }
+
+    /// Visit all histograms in name order.
+    pub(crate) fn for_each_histogram(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, h) in self.histograms.read().unwrap().iter() {
+            f(name, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let r = Registry::new();
+        r.counter("a").inc();
+        r.counter("a").add(4);
+        r.gauge("g").set(-7);
+        r.gauge("g").add(10);
+        assert_eq!(r.counter_value("a"), 5);
+        assert_eq!(r.gauge_value("g"), 3);
+        assert_eq!(r.counter_value("missing"), 0);
+        assert_eq!(r.gauge_value("missing"), 0);
+    }
+
+    #[test]
+    fn handles_alias_the_same_metric() {
+        let r = Registry::new();
+        let h1 = r.histogram("lat");
+        let h2 = r.histogram("lat");
+        h1.record(10);
+        h2.record(20);
+        assert_eq!(r.histogram("lat").count(), 2);
+    }
+
+    #[test]
+    fn pre_touched_counter_exports_as_zero() {
+        let r = Registry::new();
+        r.counter("zero.metric");
+        let mut seen = Vec::new();
+        r.for_each_counter(|n, v| seen.push((n.to_string(), v)));
+        assert_eq!(seen, vec![("zero.metric".to_string(), 0)]);
+    }
+}

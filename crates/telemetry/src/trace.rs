@@ -1,0 +1,149 @@
+//! Span-style phase tracing over a bounded ring buffer.
+//!
+//! The trace log keeps the most recent `capacity` events; older events are
+//! evicted, with [`TraceLog::dropped`] reporting how many were lost. Events
+//! carry a monotone sequence number so consumers can detect gaps. Timestamps
+//! are plain `f64` nanoseconds: LTPG phases record *simulated* time through
+//! [`TraceLog::record`], while wall-clock instrumentation uses the [`Span`]
+//! drop guard, whose timestamps are relative to the log's creation instant.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One traced span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Monotone sequence number (gap-free per log; gaps mean eviction).
+    pub seq: u64,
+    /// Static span name, e.g. `"ltpg.phase.execute"`.
+    pub name: &'static str,
+    /// Span start in nanoseconds (simulated or wall-clock, caller-defined).
+    pub start_ns: f64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: f64,
+}
+
+struct Inner {
+    next_seq: u64,
+    events: VecDeque<TraceEvent>,
+}
+
+/// Bounded ring buffer of [`TraceEvent`]s.
+pub struct TraceLog {
+    cap: usize,
+    epoch: Instant,
+    inner: Mutex<Inner>,
+}
+
+impl TraceLog {
+    /// Create a log retaining at most `cap` events (`cap` is clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            epoch: Instant::now(),
+            inner: Mutex::new(Inner {
+                next_seq: 0,
+                events: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Append a span with caller-supplied timestamps (typically simulated ns).
+    pub fn record(&self, name: &'static str, start_ns: f64, dur_ns: f64) {
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.events.len() == self.cap {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(TraceEvent {
+            seq,
+            name,
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    /// Start a wall-clock span recorded (relative to the log's creation)
+    /// when the guard drops.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span {
+            log: self,
+            name,
+            started: Instant::now(),
+        }
+    }
+
+    /// Copy out the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.lock().unwrap().events.iter().cloned().collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events evicted to honour the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.next_seq - inner.events.len() as u64
+    }
+}
+
+/// Wall-clock drop guard created by [`TraceLog::span`].
+pub struct Span<'a> {
+    log: &'a TraceLog,
+    name: &'static str,
+    started: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let start_ns = self
+            .started
+            .duration_since(self.log.epoch)
+            .as_secs_f64()
+            * 1e9;
+        let dur_ns = self.started.elapsed().as_secs_f64() * 1e9;
+        self.log.record(self.name, start_ns, dur_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let log = TraceLog::new(3);
+        for i in 0..5 {
+            log.record("t", f64::from(i), 1.0);
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(log.dropped(), 2);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let log = TraceLog::new(8);
+        {
+            let _s = log.span("guarded");
+        }
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].name, "guarded");
+        assert!(snap[0].dur_ns >= 0.0);
+    }
+}

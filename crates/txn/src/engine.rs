@@ -1,6 +1,7 @@
 //! The engine abstraction shared by LTPG and all eight baselines.
 
 use ltpg_storage::Database;
+use ltpg_telemetry::Registry;
 
 use crate::txn::{Batch, Tid};
 
@@ -26,8 +27,14 @@ pub struct BatchReport {
     /// Aborted TIDs (to be re-queued with their original TIDs).
     pub aborted: Vec<Tid>,
     /// Simulated end-to-end batch latency, nanoseconds (parameters-in to
-    /// results-out, per the paper's latency metric).
+    /// results-out, per the paper's latency metric). This is the *serial*
+    /// sum of the batch's phases — honest for engines that do not overlap
+    /// phases, an overstatement for pipelined ones.
     pub sim_ns: f64,
+    /// Steady-state per-batch latency when the engine pipelines transfers
+    /// against compute: the bottleneck-stage cost each additional batch adds
+    /// to the makespan. Engines without phase overlap report `sim_ns` here.
+    pub critical_path_ns: f64,
     /// Portion of `sim_ns` spent on host⇄device data movement.
     pub transfer_ns: f64,
     /// Host wall-clock nanoseconds the engine actually took (secondary
@@ -69,6 +76,28 @@ pub trait BatchEngine {
     /// Execute one batch to completion (all three phases / both steps /
     /// full protocol, per engine) and report the outcome.
     fn execute_batch(&mut self, batch: &Batch) -> BatchReport;
+
+    /// Publish one batch's outcome to a metrics registry under
+    /// `engine.<name>.*`. The default covers every engine — including the
+    /// CPU baselines — with batch/commit/abort counters and latency
+    /// histograms; engines with richer internals (LTPG) additionally
+    /// publish their own `ltpg.*` metrics.
+    fn record_telemetry(&self, registry: &Registry, report: &BatchReport) {
+        let n = self.name();
+        registry.counter(&format!("engine.{n}.batches")).inc();
+        registry
+            .counter(&format!("engine.{n}.committed"))
+            .add(report.committed.len() as u64);
+        registry
+            .counter(&format!("engine.{n}.abort_events"))
+            .add(report.aborted.len() as u64);
+        registry
+            .histogram(&format!("engine.{n}.batch_sim_ns"))
+            .record_ns(report.sim_ns);
+        registry
+            .histogram(&format!("engine.{n}.critical_path_ns"))
+            .record_ns(report.critical_path_ns);
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +110,7 @@ mod tests {
             committed: vec![Tid(1), Tid(2), Tid(3)],
             aborted: vec![Tid(4)],
             sim_ns: 1_000.0,
+            critical_path_ns: 1_000.0,
             transfer_ns: 100.0,
             wall_ns: 0,
             semantics: CommitSemantics::SnapshotBatch,

@@ -3,11 +3,13 @@
 //! Builds a two-table database, submits one batch of transactions with a
 //! deliberate write-write conflict, and walks through what the engine did:
 //! which transactions committed, which aborted, and how the aborted one
-//! succeeds on re-execution with its original TID.
+//! succeeds on re-execution with its original TID. Finishes with the
+//! server API and its telemetry: an end-of-run summary plus a JSONL
+//! metrics export (validated on the spot, and by the CI smoke job).
 //!
 //! Run with: `cargo run -p ltpg --example quickstart`
 
-use ltpg::{LtpgConfig, LtpgEngine};
+use ltpg::{LtpgConfig, LtpgEngine, LtpgServer, ServerConfig};
 use ltpg_storage::{ColId, Database, TableBuilder};
 use ltpg_txn::{Batch, BatchEngine, IrOp, ProcId, Src, TidGen, Txn};
 
@@ -66,5 +68,50 @@ fn main() {
     let rid = db.table(accounts).lookup(1).unwrap();
     println!("account 1 balance: {}", db.table(accounts).get(rid, ColId(0)));
     assert_eq!(db.table(accounts).get(rid, ColId(0)), 700);
+
+    // 7. The same workload through the server API: batching, durability
+    //    logging and abort requeuing are handled for you — and every
+    //    component publishes metrics to the server's telemetry registry.
+    let mut db = Database::new();
+    let accounts = db.add_table(
+        TableBuilder::new("ACCOUNTS").columns(["BALANCE", "FLAGS"]).capacity(64).build(),
+    );
+    for id in 1..=10 {
+        db.table(accounts).insert(id, &[1_000, 0]).unwrap();
+    }
+    let mut server = LtpgServer::new(
+        db,
+        LtpgConfig::default(),
+        ServerConfig { batch_size: 8, ..ServerConfig::default() },
+    );
+    for i in 0..32 {
+        // Every fourth transaction fights over account 1 — some aborts.
+        server.submit(set_balance(if i % 4 == 0 { 1 } else { i % 10 + 1 }, 100 * i));
+    }
+    server.drain(64);
+    println!("\n-- server summary --\n{}", server.summary());
+
+    // 8. Export the run's metrics as JSONL and validate the document —
+    //    exactly what a dashboard (or the CI smoke job) consumes.
+    let jsonl = server.export_telemetry_jsonl();
+    let path = std::path::Path::new("results").join("telemetry-quickstart.jsonl");
+    ltpg_telemetry::export::write_jsonl(&path, server.telemetry())
+        .expect("write telemetry export");
+    let lines = ltpg_telemetry::export::validate_jsonl(&jsonl).expect("export must be valid JSONL");
+    for required in [
+        "ltpg.phase.execute_ns",
+        "ltpg.phase.detect_ns",
+        "ltpg.phase.writeback_ns",
+        "ltpg.bytes_h2d",
+        "ltpg.aborts.conflict_loser",
+        "faults.transient_retries",
+        "server.batch_ns",
+    ] {
+        assert!(
+            ltpg_telemetry::export::find_metric(&lines, required).is_some(),
+            "export is missing {required}"
+        );
+    }
+    println!("[telemetry written to {} — {} lines, validated]", path.display(), lines.len());
     println!("quickstart OK");
 }
