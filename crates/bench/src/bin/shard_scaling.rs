@@ -1,0 +1,161 @@
+//! **Shard scaling** — sharded-LTPG throughput as the device count grows.
+//!
+//! Sweeps 1/2/4/8 simulated GPUs × {0 %, 10 %, 50 %} cross-shard
+//! transactions × {low, high} contention on partitioned YCSB-A. Each
+//! configuration drives a [`ShardedServer`] over a range-partitioned
+//! usertable (partition *i* owns one contiguous key range; cross-shard
+//! transactions pair a local read with a remote-partition write) and
+//! reports simulated throughput plus the speedup over the single-device
+//! run of the same contention level.
+//!
+//! Expected shape: near-linear scaling at 0 % cross-shard (each shard's
+//! sub-batch shrinks by 1/N, and sub-batches execute concurrently — the
+//! tick critical path is the slowest shard), degrading as the cross-shard
+//! fraction grows (participants replicate execution work and stall on the
+//! merge barrier).
+//!
+//! `--smoke` runs a tiny 1/2-shard grid for CI schema validation.
+
+use ltpg::{LtpgConfig, ServerConfig};
+use ltpg_bench::*;
+use ltpg_shard::{ycsb_partitioner, ShardedServer};
+use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    shards: u32,
+    cross_shard_pct: u32,
+    contention: &'static str,
+    zipf_alpha: f64,
+    committed: u64,
+    admitted: u64,
+    batches: u64,
+    cross_shard_fraction: f64,
+    merge_stall_ms: f64,
+    sim_ms: f64,
+    mtps: f64,
+    speedup_vs_1: f64,
+}
+
+struct RunOut {
+    committed: u64,
+    admitted: u64,
+    batches: u64,
+    cross_shard_fraction: f64,
+    merge_stall_ns: f64,
+    sim_ns: f64,
+}
+
+impl RunOut {
+    fn mtps(&self) -> f64 {
+        if self.sim_ns > 0.0 {
+            self.committed as f64 * 1e3 / self.sim_ns
+        } else {
+            0.0
+        }
+    }
+}
+
+fn run_config(
+    shards: u32,
+    cross_pct: u32,
+    alpha: f64,
+    records: u64,
+    batch: usize,
+    batches: usize,
+) -> RunOut {
+    let cfg = YcsbConfig::new(YcsbWorkload::A, records)
+        .with_alpha(alpha)
+        .with_seed(0x5ca1_ab1e)
+        .with_partitions(shards, cross_pct);
+    let (db, table, mut gen) = YcsbGenerator::new(cfg.clone());
+    let part = ycsb_partitioner(shards, table, &cfg);
+    let mut server = ShardedServer::new(
+        db,
+        part,
+        LtpgConfig::default(),
+        ServerConfig { batch_size: batch, pipelined: false, ..ServerConfig::default() },
+    );
+    server.submit_all(gen.gen_batch(batch * batches));
+    let stats = server.drain(batches + 32);
+    RunOut {
+        committed: stats.committed,
+        admitted: stats.admitted,
+        batches: stats.batches,
+        cross_shard_fraction: stats.cross_shard_fraction(),
+        merge_stall_ns: stats.merge_stall_ns,
+        sim_ns: stats.sim_ns,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (shard_counts, cross_pcts, records, batch, batches): (&[u32], &[u32], u64, usize, usize) =
+        if smoke {
+            (&[1, 2], &[0, 10], 8_192, 512, 4)
+        } else {
+            (&[1, 2, 4, 8], &[0, 10, 50], 65_536, 4_096, 10)
+        };
+    // α = 0.4 keeps the key draw near-uniform (low contention); α = 2.5 is
+    // the paper's high-contention YCSB setting.
+    let contentions: &[(&'static str, f64)] = &[("low", 0.4), ("high", 2.5)];
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows = Vec::new();
+    for &(label, alpha) in contentions {
+        let mut base_mtps = 0.0_f64;
+        for &n in shard_counts {
+            // A single device has no cross-shard traffic; emit one baseline
+            // row per contention level instead of a degenerate pct sweep.
+            let pcts: &[u32] = if n == 1 { &[0] } else { cross_pcts };
+            for &pct in pcts {
+                let out = run_config(n, pct, alpha, records, batch, batches);
+                let mtps = out.mtps();
+                if n == 1 {
+                    base_mtps = mtps;
+                }
+                let speedup = if base_mtps > 0.0 { mtps / base_mtps } else { 0.0 };
+                rows.push(vec![
+                    label.to_string(),
+                    n.to_string(),
+                    format!("{pct}"),
+                    format!("{:.1}", 100.0 * out.cross_shard_fraction),
+                    format!("{:.3}", mtps),
+                    format!("{speedup:.2}x"),
+                ]);
+                eprintln!(
+                    "[shard_scaling] {label} contention, {n} shard(s), {pct}% cross: \
+                     {mtps:.3} MTPS ({speedup:.2}x)"
+                );
+                points.push(Point {
+                    shards: n,
+                    cross_shard_pct: pct,
+                    contention: label,
+                    zipf_alpha: alpha,
+                    committed: out.committed,
+                    admitted: out.admitted,
+                    batches: out.batches,
+                    cross_shard_fraction: out.cross_shard_fraction,
+                    merge_stall_ms: out.merge_stall_ns / 1e6,
+                    sim_ms: out.sim_ns / 1e6,
+                    mtps,
+                    speedup_vs_1: speedup,
+                });
+            }
+        }
+    }
+    print_table(
+        "Shard scaling — YCSB-A throughput vs simulated device count",
+        &[
+            "contention".to_string(),
+            "shards".to_string(),
+            "cross %".to_string(),
+            "observed cross %".to_string(),
+            "MTPS".to_string(),
+            "speedup".to_string(),
+        ],
+        &rows,
+    );
+    write_json("shard_scaling", &points);
+}

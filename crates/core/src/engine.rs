@@ -29,7 +29,7 @@ use std::time::Instant;
 use ltpg_gpu_sim::{Device, DeviceError, SimAtomicU32};
 use ltpg_storage::{membership_partition, ColId, Database, TableError, TableId, MEMBERSHIP_PARTITION_SHIFT};
 use ltpg_telemetry::{names, Registry};
-use ltpg_txn::exec::{execute_speculative, Mutation, TxnEffects};
+use ltpg_txn::exec::{execute_speculative, execute_speculative_on, CellStore, Mutation, TxnEffects};
 use ltpg_txn::group::{arrival_order, order_by_proc};
 use ltpg_txn::{Batch, BatchEngine, BatchReport};
 
@@ -46,14 +46,21 @@ use crate::util::SlotVec;
 /// unoptimized NewOrder rate is unaffected by Payment's `W_YTD` writes on
 /// the same warehouse rows).
 #[inline]
-fn cell_key(key: i64, col: Option<ltpg_storage::ColId>) -> i64 {
+pub fn cell_key(key: i64, col: Option<ltpg_storage::ColId>) -> i64 {
     key.wrapping_mul(64).wrapping_add(col.map_or(0, |c| i64::from(c.0) + 1))
 }
 
-/// Conflict-flag bits per transaction.
-mod flag {
+/// Conflict-flag bits per transaction. Public so cooperating executors
+/// (the sharded CPU twin, cross-shard flag merging) can combine per-shard
+/// verdicts: the flag word of a transaction is the bitwise OR of the words
+/// derived by every shard that owns one of its cells, and the commit rule
+/// ([`commit_decision`]) is a pure function of that word.
+pub mod flag {
+    /// Write-after-write: an earlier (smaller-TID) writer of the cell exists.
     pub const WAW: u32 = 1 << 0;
+    /// Read-after-write: an earlier writer of a cell this txn read exists.
     pub const RAW: u32 = 1 << 1;
+    /// Write-after-read: an earlier reader of a cell this txn wrote exists.
     pub const WAR: u32 = 1 << 2;
     /// User/logic abort during speculation (e.g. duplicate insert).
     pub const USER: u32 = 1 << 3;
@@ -65,6 +72,268 @@ mod flag {
     /// the delayed-read fallback so dashboards can tell "log undersized"
     /// from "workload touched a commutative column").
     pub const LOG_FULL: u32 = 1 << 5;
+}
+
+/// The deterministic commit rule applied to a transaction's final flag
+/// word: `¬WAW ∧ ¬RAW` plain, or `¬WAW ∧ (¬RAW ∨ ¬WAR)` under logical
+/// reordering — identical on every executor, which is what lets shards
+/// reach bit-identical decisions from OR-merged flag words without a
+/// voting round.
+#[inline]
+pub fn commit_decision(logical_reordering: bool, f: u32) -> bool {
+    if f & (flag::USER | flag::FORCED | flag::LOG_FULL | flag::WAW) != 0 {
+        return false;
+    }
+    if logical_reordering {
+        // Aria's reordering rule: ¬RAW ∨ ¬WAR.
+        f & flag::RAW == 0 || f & flag::WAR == 0
+    } else {
+        f & flag::RAW == 0
+    }
+}
+
+/// Result of [`stage_effects`]: speculation output split into plain
+/// buffered mutations, staged commutative deltas, and the forced-abort
+/// verdict. Shared by the execute kernel and the sharded CPU twin so both
+/// derive identical staging decisions.
+pub struct Staged {
+    /// Non-commutative buffered mutations, in program order.
+    pub normal: Vec<Mutation>,
+    /// Staged commutative deltas: `(table, col, key, delta)`.
+    pub delayed: Vec<(TableId, ColId, i64, i64)>,
+    /// Whether the transaction must be force-aborted (it read or plainly
+    /// overwrote a commutatively-maintained column, or deleted from a
+    /// table containing one).
+    pub forced: bool,
+}
+
+/// Classify one transaction's speculation effects exactly as the execute
+/// kernel does: commutative adds are staged for the delayed merge, plain
+/// overwrites of commutative columns (and deletes against their tables,
+/// and reads of them) force-abort, everything else buffers for write-back.
+pub fn stage_effects(
+    cfg: &LtpgConfig,
+    commutative_tables: &HashSet<TableId>,
+    fx: &TxnEffects,
+) -> Staged {
+    let mut forced = false;
+    let mut normal = Vec::with_capacity(fx.mutations.len());
+    let mut delayed = Vec::new();
+    for m in &fx.mutations {
+        match m {
+            Mutation::Add { table, key, col, delta } if cfg.is_commutative(*table, *col) => {
+                delayed.push((*table, *col, *key, *delta));
+            }
+            Mutation::Update { table, col, .. } if cfg.is_commutative(*table, *col) => {
+                // A plain overwrite of a commutative column cannot be
+                // merged — abort for soundness.
+                forced = true;
+            }
+            Mutation::Delete { table, .. } if commutative_tables.contains(table) => {
+                forced = true;
+            }
+            other => normal.push(other.clone()),
+        }
+    }
+    // Reading a commutatively-maintained column would observe a value that
+    // delayed merging later changes; force-abort the reader (sound
+    // fallback).
+    for r in &fx.reads {
+        if let Some(c) = r.col {
+            if cfg.is_commutative(r.table, c) {
+                forced = true;
+            }
+        }
+    }
+    Staged { normal, delayed, forced }
+}
+
+/// One conflict-log access of a transaction: the unit both registration
+/// and conflict detection operate over. [`cell_accesses`] enumerates them
+/// in a canonical order shared by the engine's detect-item builder and the
+/// sharded CPU twin, so every executor probes exactly the same cells.
+pub enum CellAccess {
+    /// Snapshot read of one cell.
+    Read {
+        /// Table of the row read.
+        table: TableId,
+        /// Row key (pre-encoding; ownership checks use this).
+        row: i64,
+        /// Column read; `None` is the row-existence pseudo-cell.
+        col: Option<ColId>,
+        /// Encoded conflict-log cell key.
+        cell: i64,
+    },
+    /// Membership (phantom-guard) read of a key partition.
+    MembershipRead {
+        /// Table whose membership was observed.
+        table: TableId,
+        /// Key partition observed.
+        partition: i64,
+    },
+    /// Buffered write of one cell.
+    Write {
+        /// Table of the row written.
+        table: TableId,
+        /// Row key (pre-encoding).
+        row: i64,
+        /// Column written; `None` is the row-existence pseudo-cell.
+        col: Option<ColId>,
+        /// Encoded conflict-log cell key.
+        cell: i64,
+        /// Whether detection checks WAW for this cell (membership-marker
+        /// writes commute and check only WAR).
+        check_waw: bool,
+    },
+    /// Non-commutative read-modify-write: registers as both reader and
+    /// writer of the cell; detection is the write check alone.
+    Rmw {
+        /// Table of the row.
+        table: TableId,
+        /// Row key (pre-encoding).
+        row: i64,
+        /// Column modified.
+        col: Option<ColId>,
+        /// Encoded conflict-log cell key.
+        cell: i64,
+    },
+    /// Membership (phantom-guard) write of a key partition.
+    MembershipWrite {
+        /// Table whose membership changes.
+        table: TableId,
+        /// Key partition written.
+        partition: i64,
+    },
+}
+
+/// Enumerate the conflict-log accesses of one transaction, given its
+/// recorded reads and staged non-commutative mutations: reads first (in
+/// recording order), then per-mutation write cells (existence + membership
+/// + all columns for deletes). `db` supplies table widths for deletes.
+pub fn cell_accesses(db: &Database, fx: &TxnEffects, normal: &[Mutation]) -> Vec<CellAccess> {
+    let mut out = Vec::with_capacity(fx.reads.len() + normal.len());
+    for r in &fx.reads {
+        match membership_partition(r.key) {
+            Some(p) => out.push(CellAccess::MembershipRead { table: r.table, partition: p }),
+            None => out.push(CellAccess::Read {
+                table: r.table,
+                row: r.key,
+                col: r.col,
+                cell: cell_key(r.key, r.col),
+            }),
+        }
+    }
+    for m in normal {
+        match m {
+            Mutation::Update { table, key, col, .. } => out.push(CellAccess::Write {
+                table: *table,
+                row: *key,
+                col: Some(*col),
+                cell: cell_key(*key, Some(*col)),
+                check_waw: true,
+            }),
+            Mutation::Add { table, key, col, .. } => out.push(CellAccess::Rmw {
+                table: *table,
+                row: *key,
+                col: Some(*col),
+                cell: cell_key(*key, Some(*col)),
+            }),
+            Mutation::Insert { table, key, .. } => {
+                out.push(CellAccess::Write {
+                    table: *table,
+                    row: *key,
+                    col: None,
+                    cell: cell_key(*key, None),
+                    check_waw: true,
+                });
+                out.push(CellAccess::MembershipWrite {
+                    table: *table,
+                    partition: *key >> MEMBERSHIP_PARTITION_SHIFT,
+                });
+            }
+            Mutation::Delete { table, key } => {
+                out.push(CellAccess::Write {
+                    table: *table,
+                    row: *key,
+                    col: None,
+                    cell: cell_key(*key, None),
+                    check_waw: true,
+                });
+                out.push(CellAccess::MembershipWrite {
+                    table: *table,
+                    partition: *key >> MEMBERSHIP_PARTITION_SHIFT,
+                });
+                for c in 0..db.table(*table).width() as u16 {
+                    out.push(CellAccess::Write {
+                        table: *table,
+                        row: *key,
+                        col: Some(ColId(c)),
+                        cell: cell_key(*key, Some(ColId(c))),
+                        check_waw: true,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Restricts an engine to the slice of a partitioned database it owns.
+///
+/// With a scope, the engine still *executes* every transaction of its
+/// (sub-)batch in full — resolving reads of rows held elsewhere through
+/// `remote` — but registers, detects and writes back **only the cells its
+/// shard owns**. Because shards partition the cell space disjointly, the
+/// bitwise OR of all participants' flag words for a transaction equals the
+/// word a single engine over the whole database would derive, and
+/// [`commit_decision`] over the merged word reproduces the single-device
+/// commit decision bit-for-bit.
+pub struct ExecScope<'a> {
+    /// Read view resolving rows this shard does not hold (`None` when the
+    /// local database is complete, e.g. a 1-shard scope).
+    pub remote: Option<&'a (dyn CellStore + Sync)>,
+    /// Whether this shard owns row `(table, key)` — its existence and
+    /// column cells register here.
+    pub owns_row: &'a (dyn Fn(TableId, i64) -> bool + Sync),
+    /// Whether this shard owns the membership marker of
+    /// `(table, partition)` — phantom-guard reads and writes of that
+    /// partition register here.
+    pub owns_membership: &'a (dyn Fn(TableId, i64) -> bool + Sync),
+}
+
+/// Chain of the shard-local slice and the remote view: reads try the local
+/// slice first (shards partition keys, so a local hit is authoritative)
+/// and fall through to the remote view; ordered scans merge both sides.
+struct ScopedStore<'a> {
+    local: &'a Database,
+    remote: &'a (dyn CellStore + Sync),
+}
+
+impl CellStore for ScopedStore<'_> {
+    fn cell(&self, table: TableId, key: i64, col: ColId) -> Option<i64> {
+        self.local.cell(table, key, col).or_else(|| self.remote.cell(table, key, col))
+    }
+
+    fn row_exists(&self, table: TableId, key: i64) -> bool {
+        self.local.row_exists(table, key) || self.remote.row_exists(table, key)
+    }
+
+    fn row_width(&self, table: TableId) -> usize {
+        self.local.row_width(table)
+    }
+
+    fn range_keys(&self, table: TableId, lo: i64, hi: i64) -> Option<Vec<i64>> {
+        match (self.local.range_keys(table, lo, hi), self.remote.range_keys(table, lo, hi)) {
+            (None, None) => None,
+            (a, b) => {
+                let mut keys: Vec<i64> =
+                    a.into_iter().flatten().chain(b.into_iter().flatten()).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                Some(keys)
+            }
+        }
+    }
 }
 
 /// Outcome of one transaction's execute phase.
@@ -89,6 +358,53 @@ struct DetectItem {
     check_waw: bool,
     /// `Some(partition)` routes this item to the table's membership log.
     membership: Option<i64>,
+}
+
+/// Per-batch state carried from [`LtpgEngine::try_prepare_batch`] to
+/// [`LtpgEngine::try_finish_batch`]: buffered execution outcomes, the
+/// per-transaction conflict-flag words, and the phase-stats accumulated so
+/// far. A sharded caller reads and rewrites the flag words (indexed by
+/// position in the batch, i.e. TID order) to merge verdicts across
+/// participant shards before finishing.
+pub struct PreparedBatch {
+    lane_order: Vec<usize>,
+    outcomes: Vec<Option<ExecOutcome>>,
+    flags: Vec<SimAtomicU32>,
+    detect_items: u64,
+    stats: LtpgBatchStats,
+    wall_start: Instant,
+}
+
+impl PreparedBatch {
+    /// Number of transactions in the prepared batch.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the prepared batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Conflict-flag word of transaction `i` (batch order), as derived by
+    /// this engine over the cells it owns. See [`flag`] for the bit set.
+    pub fn flag_word(&self, i: usize) -> u32 {
+        self.flags[i].load()
+    }
+
+    /// Overwrite the flag word of transaction `i` with a merged verdict
+    /// (the OR over every participant shard's [`Self::flag_word`]).
+    pub fn set_flag_word(&self, i: usize, word: u32) {
+        self.flags[i].store(word);
+    }
+
+    /// Simulated nanoseconds accumulated so far (at prepare time this is
+    /// exactly the prepare-phase cost: upload, execute, detect and the
+    /// interleaved syncs — writeback/D2H have not run yet). Sharded servers
+    /// use this to charge merge-barrier stall time.
+    pub fn sim_ns(&self) -> f64 {
+        self.stats.total_ns()
+    }
 }
 
 /// The LTPG engine. Owns its database (the device-resident snapshot) and
@@ -191,9 +507,39 @@ impl LtpgEngine {
         &mut self,
         batch: &Batch,
     ) -> Result<ReportWithStats, DeviceError> {
+        let prepared = self.try_prepare_batch(batch, None)?;
+        self.try_finish_batch(batch, prepared, None)
+    }
+
+    /// First half of a batch: upload, speculative execution, conflict-log
+    /// registration and conflict detection. **No database mutation happens
+    /// here** — write-back lives in [`try_finish_batch`] — so a sharded
+    /// caller can prepare every participant shard against the pre-batch
+    /// snapshot, OR-merge the per-shard flag words of cross-shard
+    /// transactions ([`PreparedBatch::flag_word`] /
+    /// [`PreparedBatch::set_flag_word`]), and only then finish each shard.
+    ///
+    /// `scope: None` runs the engine over its whole database (the
+    /// single-device path, bit-identical to the pre-split behaviour).
+    pub fn try_prepare_batch(
+        &mut self,
+        batch: &Batch,
+        scope: Option<&ExecScope<'_>>,
+    ) -> Result<PreparedBatch, DeviceError> {
         let wall_start = Instant::now();
         let mut stats = LtpgBatchStats::default();
         let n = batch.len();
+        let owns_row = |t: TableId, k: i64| match scope {
+            None => true,
+            Some(s) => (s.owns_row)(t, k),
+        };
+        let owns_mem = |t: TableId, p: i64| match scope {
+            None => true,
+            Some(s) => (s.owns_membership)(t, p),
+        };
+        let scoped_store = scope
+            .and_then(|s| s.remote)
+            .map(|remote| ScopedStore { local: &self.db, remote });
         self.log.begin_batch();
 
         // ---- Upload: transaction parameters to the device. ----
@@ -216,7 +562,11 @@ impl LtpgEngine {
             lane.branch(u32::from(txn.proc.0));
             lane.charge_alu(txn.ops.len() as u32);
             lane.charge_cycles(lane_proc_overhead);
-            match execute_speculative(&self.db, txn) {
+            let speculated = match &scoped_store {
+                Some(store) => execute_speculative_on(store, txn),
+                None => execute_speculative(&self.db, txn),
+            };
+            match speculated {
                 Err(_) => {
                     lane.atomic_or_u32(&flags[idx], flag::USER);
                     outcomes.set(idx, ExecOutcome {
@@ -227,42 +577,11 @@ impl LtpgEngine {
                 }
                 Ok(fx) => {
                     let tid = txn.tid.0;
-                    let mut forced = false;
-                    let mut normal = Vec::with_capacity(fx.mutations.len());
-                    let mut delayed = Vec::new();
-                    for m in &fx.mutations {
-                        match m {
-                            Mutation::Add { table, key, col, delta }
-                                if self.cfg.is_commutative(*table, *col) =>
-                            {
-                                // Staged for the delayed-update merge.
-                                lane.write_global(1);
-                                delayed.push((*table, *col, *key, *delta));
-                            }
-                            Mutation::Update { table, col, .. }
-                                if self.cfg.is_commutative(*table, *col) =>
-                            {
-                                // A plain overwrite of a commutative column
-                                // cannot be merged — abort for soundness.
-                                forced = true;
-                            }
-                            Mutation::Delete { table, .. }
-                                if self.commutative_tables.contains(table) =>
-                            {
-                                forced = true;
-                            }
-                            other => normal.push(other.clone()),
-                        }
-                    }
-                    // Reading a commutatively-maintained column would
-                    // observe a value that delayed merging later changes;
-                    // force-abort the reader (sound fallback).
-                    for r in &fx.reads {
-                        if let Some(c) = r.col {
-                            if self.cfg.is_commutative(r.table, c) {
-                                forced = true;
-                            }
-                        }
+                    let Staged { normal, delayed, forced } =
+                        stage_effects(&self.cfg, &self.commutative_tables, &fx);
+                    for _ in &delayed {
+                        // Staged for the delayed-update merge.
+                        lane.write_global(1);
                     }
                     if forced {
                         lane.atomic_or_u32(&flags[idx], flag::FORCED);
@@ -284,48 +603,63 @@ impl LtpgEngine {
                         lane.read_global_random(2);
                         lane.write_global(1);
                         registered &= if let Some(p) = membership_partition(r.key) {
-                            self.log.register_membership_read(lane, r.table, p, tid)
+                            !owns_mem(r.table, p)
+                                || self.log.register_membership_read(lane, r.table, p, tid)
                         } else {
-                            self.log.register_read(lane, r.table, r.col, cell_key(r.key, r.col), tid)
+                            !owns_row(r.table, r.key)
+                                || self.log.register_read(lane, r.table, r.col, cell_key(r.key, r.col), tid)
                         };
                     }
                     for m in &normal {
                         lane.write_global(2);
                         match m {
                             Mutation::Update { table, key, col, .. } => {
-                                registered &= self.log.register_write(
-                                    lane, *table, Some(*col), cell_key(*key, Some(*col)), tid,
-                                );
+                                registered &= !owns_row(*table, *key)
+                                    || self.log.register_write(
+                                        lane, *table, Some(*col), cell_key(*key, Some(*col)), tid,
+                                    );
                             }
                             Mutation::Add { table, key, col, .. } => {
                                 // Non-commutative RMW: reader and writer.
                                 let ck = cell_key(*key, Some(*col));
-                                registered &= self.log.register_read(lane, *table, Some(*col), ck, tid);
-                                registered &= self.log.register_write(lane, *table, Some(*col), ck, tid);
+                                if owns_row(*table, *key) {
+                                    registered &= self.log.register_read(lane, *table, Some(*col), ck, tid);
+                                    registered &= self.log.register_write(lane, *table, Some(*col), ck, tid);
+                                }
                             }
                             Mutation::Insert { table, key, .. } => {
-                                registered &=
-                                    self.log.register_write(lane, *table, None, cell_key(*key, None), tid);
+                                if owns_row(*table, *key) {
+                                    registered &= self.log.register_write(
+                                        lane, *table, None, cell_key(*key, None), tid,
+                                    );
+                                }
                                 // Membership changed: ordered scanners of
                                 // this key partition must see it (phantom
                                 // guard).
-                                registered &= self.log.register_membership_write(
-                                    lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
-                                );
+                                if owns_mem(*table, *key >> MEMBERSHIP_PARTITION_SHIFT) {
+                                    registered &= self.log.register_membership_write(
+                                        lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
+                                    );
+                                }
                             }
                             Mutation::Delete { table, key } => {
                                 // A delete writes the existence cell and
                                 // every column cell (readers of any cell
                                 // must order before it).
-                                registered &=
-                                    self.log.register_write(lane, *table, None, cell_key(*key, None), tid);
-                                registered &= self.log.register_membership_write(
-                                    lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
-                                );
-                                for c in 0..self.db.table(*table).width() as u16 {
-                                    let col = ColId(c);
+                                if owns_row(*table, *key) {
                                     registered &= self.log.register_write(
-                                        lane, *table, Some(col), cell_key(*key, Some(col)), tid,
+                                        lane, *table, None, cell_key(*key, None), tid,
+                                    );
+                                    for c in 0..self.db.table(*table).width() as u16 {
+                                        let col = ColId(c);
+                                        registered &= self.log.register_write(
+                                            lane, *table, Some(col), cell_key(*key, Some(col)), tid,
+                                        );
+                                    }
+                                }
+                                if owns_mem(*table, *key >> MEMBERSHIP_PARTITION_SHIFT) {
+                                    registered &= self.log.register_membership_write(
+                                        lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
                                     );
                                 }
                             }
@@ -350,77 +684,73 @@ impl LtpgEngine {
             if flags[idx].load() & (flag::USER | flag::FORCED | flag::LOG_FULL) != 0 {
                 continue;
             }
-            for r in &out.effects.reads {
-                items.push(DetectItem {
-                    txn: idx as u32,
-                    table: r.table,
-                    col: r.col,
-                    key: cell_key(r.key, r.col),
-                    is_write: false,
-                    check_waw: false,
-                    membership: membership_partition(r.key),
-                });
-            }
-            for m in &out.normal {
-                match m {
-                    Mutation::Update { table, key, col, .. }
-                    | Mutation::Add { table, key, col, .. } => items.push(DetectItem {
-                        txn: idx as u32,
-                        table: *table,
-                        col: Some(*col),
-                        key: cell_key(*key, Some(*col)),
-                        is_write: true,
-                        check_waw: true,
-                        membership: None,
-                    }),
-                    Mutation::Insert { table, key, .. } => {
-                        items.push(DetectItem {
-                            txn: idx as u32,
-                            table: *table,
-                            col: None,
-                            key: cell_key(*key, None),
-                            is_write: true,
-                            check_waw: true,
-                        membership: None,
-                        });
-                        items.push(DetectItem {
-                            txn: idx as u32,
-                            table: *table,
-                            col: None,
-                            key: 0,
-                            is_write: true,
-                            check_waw: false,
-                            membership: Some(*key >> MEMBERSHIP_PARTITION_SHIFT),
-                        });
-                    }
-                    Mutation::Delete { table, key } => {
-                        items.push(DetectItem {
-                            txn: idx as u32,
-                            table: *table,
-                            col: None,
-                            key: cell_key(*key, None),
-                            is_write: true,
-                            check_waw: true,
-                        membership: None,
-                        });
-                        items.push(DetectItem {
-                            txn: idx as u32,
-                            table: *table,
-                            col: None,
-                            key: 0,
-                            is_write: true,
-                            check_waw: false,
-                            membership: Some(*key >> MEMBERSHIP_PARTITION_SHIFT),
-                        });
-                        for c in 0..self.db.table(*table).width() as u16 {
+            // One detect item per *owned* registered access, enumerated by
+            // the shared canonical walk so registration, detection and the
+            // sharded CPU twin always agree on the cell set.
+            for a in cell_accesses(&self.db, &out.effects, &out.normal) {
+                match a {
+                    CellAccess::Read { table, row, col, cell } => {
+                        if owns_row(table, row) {
                             items.push(DetectItem {
                                 txn: idx as u32,
-                                table: *table,
-                                col: Some(ColId(c)),
-                                key: cell_key(*key, Some(ColId(c))),
+                                table,
+                                col,
+                                key: cell,
+                                is_write: false,
+                                check_waw: false,
+                                membership: None,
+                            });
+                        }
+                    }
+                    CellAccess::MembershipRead { table, partition } => {
+                        if owns_mem(table, partition) {
+                            items.push(DetectItem {
+                                txn: idx as u32,
+                                table,
+                                col: None,
+                                key: 0,
+                                is_write: false,
+                                check_waw: false,
+                                membership: Some(partition),
+                            });
+                        }
+                    }
+                    CellAccess::Write { table, row, col, cell, check_waw } => {
+                        if owns_row(table, row) {
+                            items.push(DetectItem {
+                                txn: idx as u32,
+                                table,
+                                col,
+                                key: cell,
+                                is_write: true,
+                                check_waw,
+                                membership: None,
+                            });
+                        }
+                    }
+                    CellAccess::Rmw { table, row, col, cell } => {
+                        if owns_row(table, row) {
+                            items.push(DetectItem {
+                                txn: idx as u32,
+                                table,
+                                col,
+                                key: cell,
                                 is_write: true,
                                 check_waw: true,
-                        membership: None,
+                                membership: None,
+                            });
+                        }
+                    }
+                    CellAccess::MembershipWrite { table, partition } => {
+                        if owns_mem(table, partition) {
+                            items.push(DetectItem {
+                                txn: idx as u32,
+                                table,
+                                col: None,
+                                key: 0,
+                                is_write: true,
+                                check_waw: false,
+                                membership: Some(partition),
                             });
                         }
                     }
@@ -458,18 +788,45 @@ impl LtpgEngine {
         self.device.synchronize();
         stats.sync_ns += self.device.cost().device_sync_ns;
 
-        // ---- Phase 3: write-back. ----
-        let commit_ok = |f: u32| -> bool {
-            if f & (flag::USER | flag::FORCED | flag::LOG_FULL | flag::WAW) != 0 {
-                return false;
-            }
-            if self.cfg.opts.logical_reordering {
-                // Aria's reordering rule: ¬RAW ∨ ¬WAR.
-                f & flag::RAW == 0 || f & flag::WAR == 0
-            } else {
-                f & flag::RAW == 0
-            }
+        stats.atomic_ops = exec_report.atomic_ops + detect_report.atomic_ops;
+        stats.atomic_serial_depth =
+            exec_report.atomic_serial_depth + detect_report.atomic_serial_depth;
+        stats.divergent_warps = exec_report.divergent_warps + detect_report.divergent_warps;
+        stats.page_faults = exec_report.page_faults + detect_report.page_faults;
+
+        Ok(PreparedBatch {
+            lane_order,
+            outcomes,
+            flags,
+            detect_items: items.len() as u64,
+            stats,
+            wall_start,
+        })
+    }
+
+    /// Second half of a batch: write-back of committing transactions, the
+    /// delayed-update merge, result download and report assembly. The
+    /// commit decision is [`commit_decision`] over each transaction's flag
+    /// word as it stands in `prepared` — which a sharded caller has
+    /// OR-merged across participants between the two halves. With a scope,
+    /// only mutations of owned rows are applied.
+    pub fn try_finish_batch(
+        &mut self,
+        batch: &Batch,
+        prepared: PreparedBatch,
+        scope: Option<&ExecScope<'_>>,
+    ) -> Result<ReportWithStats, DeviceError> {
+        let PreparedBatch { lane_order, outcomes, flags, detect_items, mut stats, wall_start } =
+            prepared;
+        let n = batch.len();
+        let owns_row = |t: TableId, k: i64| match scope {
+            None => true,
+            Some(s) => (s.owns_row)(t, k),
         };
+
+        // ---- Phase 3: write-back. ----
+        let reordering = self.cfg.opts.logical_reordering;
+        let commit_ok = |f: u32| commit_decision(reordering, f);
         self.device.check_alive()?;
         let wb_report = self.device.launch("writeback", &lane_order, |lane, &idx| {
             let txn = &batch.txns[idx];
@@ -480,6 +837,15 @@ impl LtpgEngine {
             }
             let Some(out) = &outcomes[idx] else { return };
             for m in &out.normal {
+                let (mt, mk) = match m {
+                    Mutation::Update { table, key, .. }
+                    | Mutation::Add { table, key, .. }
+                    | Mutation::Insert { table, key, .. }
+                    | Mutation::Delete { table, key } => (*table, *key),
+                };
+                if !owns_row(mt, mk) {
+                    continue;
+                }
                 match m {
                     Mutation::Update { table, key, col, value } => {
                         // Row ids were resolved during execute and carried
@@ -538,6 +904,9 @@ impl LtpgEngine {
             }
             let Some(out) = out else { continue };
             for &(t, c, k, d) in &out.delayed {
+                if !owns_row(t, k) {
+                    continue;
+                }
                 stats.delayed_ops_applied += 1;
                 let e = merge_map.entry((t, c, k)).or_insert((0, 0));
                 e.0 = e.0.wrapping_add(d);
@@ -608,11 +977,8 @@ impl LtpgEngine {
         };
 
         // ---- Counters and report assembly. ----
-        stats.atomic_ops = exec_report.atomic_ops + detect_report.atomic_ops;
-        stats.atomic_serial_depth = exec_report.atomic_serial_depth + detect_report.atomic_serial_depth;
-        stats.divergent_warps =
-            exec_report.divergent_warps + detect_report.divergent_warps + wb_report.divergent_warps;
-        stats.page_faults = exec_report.page_faults + detect_report.page_faults + wb_report.page_faults;
+        stats.divergent_warps += wb_report.divergent_warps;
+        stats.page_faults += wb_report.page_faults;
         stats.delayed_read_aborts =
             (0..n).filter(|&i| flags[i].load() & flag::FORCED != 0).count() as u64;
         stats.log_exhausted_aborts =
@@ -627,7 +993,7 @@ impl LtpgEngine {
                 aborted.push(txn.tid);
             }
         }
-        self.publish_batch(&stats, &flags, &committed_flags, items.len() as u64);
+        self.publish_batch(&stats, &flags, &committed_flags, detect_items);
         let report = BatchReport {
             committed,
             aborted,

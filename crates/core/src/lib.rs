@@ -73,7 +73,10 @@ mod util;
 
 pub use config::{LtpgConfig, OptFlags, SyncMode};
 pub use conflict::ConflictLog;
-pub use engine::LtpgEngine;
+pub use engine::{
+    cell_accesses, cell_key, commit_decision, flag, stage_effects, CellAccess, ExecScope,
+    LtpgEngine, PreparedBatch, Staged,
+};
 pub use faults::{FaultHorizon, FaultInjector, FaultPlan, WalDamage, WalDamageReport};
 pub use pipeline::{PipelineOutcome, PipelinedRunner};
 pub use recovery::{

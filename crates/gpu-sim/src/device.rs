@@ -239,8 +239,30 @@ impl Device {
     }
 
     /// Zero the clock and counters (allocation footprint is preserved).
+    ///
+    /// This is a *stats* reset only: an armed fault plan, the
+    /// fallible-operation ordinal, the sticky lost flag, and any telemetry
+    /// rebinding all survive. Code that reuses a `Device` for a new logical
+    /// owner (e.g. rebuilding the engines of a multi-device shard set) must
+    /// call [`Device::reset_for_reuse`] instead, or stale fault schedules
+    /// leak into the next owner's run.
     pub fn reset(&self) {
         *self.stats.lock() = DeviceStats::default();
+    }
+
+    /// Full reuse reset for handing the device to a new logical owner:
+    /// zeroes the stats clock *and* disarms the fault plan, restarts the
+    /// fallible-operation ordinal, and rebinds telemetry back to the
+    /// process-global registry so per-launch metrics from the previous
+    /// owner's registry stop receiving this device's counts. The sticky
+    /// lost flag is deliberately preserved (matching [`Device::arm_faults`]:
+    /// a lost device stays lost until physically replaced), as is the
+    /// allocation footprint.
+    pub fn reset_for_reuse(&self) {
+        *self.stats.lock() = DeviceStats::default();
+        *self.fault_plan.lock() = DeviceFaultPlan::none();
+        self.fault_op.store(0, Ordering::Relaxed);
+        *self.telemetry.lock() = DeviceTelemetry::bind(ltpg_telemetry::global());
     }
 
     /// Advance the simulated clock by `ns` of device-serial work that is not
@@ -442,6 +464,51 @@ mod tests {
         d.fail_now();
         assert!(d.is_failed());
         assert!(d.try_h2d(8).is_err());
+    }
+
+    #[test]
+    fn reset_for_reuse_disarms_faults_but_keeps_sticky_loss() {
+        use crate::faults::DeviceFaultPlan;
+        // Regression: `reset()` used to be the only reset, and it leaves an
+        // armed fault plan live — a rebuilt shard inheriting the device
+        // would hit the previous owner's scheduled faults.
+        let d = Device::new(DeviceConfig::default());
+        d.arm_faults(DeviceFaultPlan {
+            transient_ops: [2u64, 3, 4].into_iter().collect(),
+            lost_at_op: Some(50),
+        });
+        d.try_h2d(8).unwrap(); // op 0
+        d.reset_for_reuse();
+        // The old plan (transients at ops 2..=4, loss at 50) must be gone
+        // and the ordinal restarted: every op after reuse succeeds.
+        for _ in 0..60 {
+            d.try_h2d(8).unwrap();
+            d.try_d2h(8).unwrap();
+        }
+        assert_eq!(d.stats().transient_faults, 0);
+        assert!(!d.is_failed());
+
+        // Sticky loss survives reuse — a dead device is not repaired by
+        // handing it to a new owner.
+        d.fail_now();
+        d.reset_for_reuse();
+        assert!(d.is_failed());
+        assert!(d.try_h2d(8).is_err());
+    }
+
+    #[test]
+    fn reset_for_reuse_unbinds_previous_owner_telemetry() {
+        use ltpg_telemetry::{names, Registry};
+        let d = Device::new(DeviceConfig::default());
+        let owner_a = Registry::new_shared();
+        d.set_telemetry(&owner_a);
+        d.h2d(1 << 10);
+        let before = owner_a.counter(names::GPU_BYTES_H2D).get();
+        assert_eq!(before, 1 << 10);
+        d.reset_for_reuse();
+        // Post-reuse traffic must not keep flowing into owner A's registry.
+        d.h2d(1 << 10);
+        assert_eq!(owner_a.counter(names::GPU_BYTES_H2D).get(), before);
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! The per-shard CPU twin: a scoped split-phase executor for degraded
+//! shards.
+//!
+//! When a shard's device is lost, the sharded server replaces it with a
+//! [`CpuShardEngine`] rebuilt from the shard's last checkpoint and WAL.
+//! Unlike `ltpg_baselines::CpuFallbackEngine` (which assumes it holds the
+//! whole database), this twin mirrors the GPU engine's **scoped**
+//! split-phase protocol: it executes every transaction of its sub-batch in
+//! full (resolving remote rows through the scope chain), but registers,
+//! detects and writes back only the cells its shard owns, and exposes the
+//! per-transaction flag words between the two phases so the server can
+//! OR-merge verdicts across participants. Registration and detection are
+//! both driven by the same canonical [`cell_accesses`] walk the GPU engine
+//! uses, with exact `BTreeMap` min-TID cells in place of hashed conflict
+//! logs — so a degraded shard keeps voting bit-identically to its GPU
+//! peers (the CPU maps never run out of buckets, so the twin never raises
+//! `LOG_FULL`; see DESIGN.md for the capacity caveat).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use ltpg::{
+    cell_accesses, commit_decision, flag, stage_effects, CellAccess, ExecScope, LtpgConfig, Staged,
+};
+use ltpg_baselines::CpuCostModel;
+use ltpg_storage::{ColId, Database, TableError, TableId};
+use ltpg_txn::exec::{execute_speculative, execute_speculative_on, Mutation, TxnEffects};
+use ltpg_txn::Batch;
+
+use crate::remote::ChainStore;
+
+/// Exact min-TID maps standing in for the GPU conflict log, keyed by the
+/// same encoded cell keys.
+#[derive(Default)]
+struct MinTidLog {
+    read_min: BTreeMap<(TableId, Option<ColId>, i64), u64>,
+    write_min: BTreeMap<(TableId, Option<ColId>, i64), u64>,
+    mem_read_min: BTreeMap<(TableId, i64), u64>,
+    mem_write_min: BTreeMap<(TableId, i64), u64>,
+}
+
+type CellKeyMap = BTreeMap<(TableId, Option<ColId>, i64), u64>;
+
+impl MinTidLog {
+    fn note(map: &mut CellKeyMap, k: (TableId, Option<ColId>, i64), tid: u64) {
+        map.entry(k).and_modify(|m| *m = (*m).min(tid)).or_insert(tid);
+    }
+    fn note_mem(map: &mut BTreeMap<(TableId, i64), u64>, k: (TableId, i64), tid: u64) {
+        map.entry(k).and_modify(|m| *m = (*m).min(tid)).or_insert(tid);
+    }
+}
+
+/// Per-transaction result of the twin's execute phase.
+struct ExecOutcome {
+    normal: Vec<Mutation>,
+    delayed: Vec<(TableId, ColId, i64, i64)>,
+    effects: TxnEffects,
+}
+
+/// State carried between [`CpuShardEngine::prepare`] and
+/// [`CpuShardEngine::finish`] — the CPU analogue of
+/// [`ltpg::PreparedBatch`].
+pub struct CpuPrepared {
+    outcomes: Vec<Option<ExecOutcome>>,
+    flags: Vec<u32>,
+    prep_ns: f64,
+}
+
+impl CpuPrepared {
+    /// Number of transactions in the prepared sub-batch.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the prepared sub-batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Conflict-flag word of transaction `i` (sub-batch order).
+    pub fn flag_word(&self, i: usize) -> u32 {
+        self.flags[i]
+    }
+
+    /// Overwrite the flag word of transaction `i` with the cross-shard
+    /// merged word.
+    pub fn set_flag_word(&mut self, i: usize, word: u32) {
+        self.flags[i] = word;
+    }
+
+    /// Simulated nanoseconds of the prepare phase.
+    pub fn sim_ns(&self) -> f64 {
+        self.prep_ns
+    }
+}
+
+/// Serial scoped executor producing LTPG-identical per-shard flag words.
+pub struct CpuShardEngine {
+    db: Database,
+    cfg: LtpgConfig,
+    cost: CpuCostModel,
+    commutative_tables: HashSet<TableId>,
+}
+
+impl CpuShardEngine {
+    /// A twin over the shard slice `db` with the shard's engine config.
+    pub fn new(db: Database, cfg: LtpgConfig) -> Self {
+        let commutative_tables = cfg
+            .commutative_cols
+            .iter()
+            .chain(cfg.delayed_cols.iter())
+            .map(|&(t, _)| t)
+            .collect();
+        CpuShardEngine { db, cfg, cost: CpuCostModel::xeon30(), commutative_tables }
+    }
+
+    /// The shard's database slice.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Consume the twin, returning its database slice.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
+    /// Execute + register + detect the sub-batch against this shard's
+    /// snapshot (no database mutation). With a scope, remote reads resolve
+    /// through `scope.remote` and registration/detection cover only owned
+    /// cells.
+    pub fn prepare(&mut self, batch: &Batch, scope: Option<&ExecScope<'_>>) -> CpuPrepared {
+        let n = batch.len();
+        let owns_row = |t: TableId, k: i64| match scope {
+            None => true,
+            Some(s) => (s.owns_row)(t, k),
+        };
+        let owns_mem = |t: TableId, p: i64| match scope {
+            None => true,
+            Some(s) => (s.owns_membership)(t, p),
+        };
+        let mut flags = vec![0u32; n];
+        let mut outcomes: Vec<Option<ExecOutcome>> = Vec::with_capacity(n);
+        let mut log = MinTidLog::default();
+        let mut work_ops = 0u64;
+
+        // ---- Execute + min-TID registration (scoped). ----
+        for (idx, txn) in batch.txns.iter().enumerate() {
+            work_ops += txn.ops.len() as u64;
+            let remote = scope.and_then(|s| s.remote);
+            let speculated = match remote {
+                Some(remote) => {
+                    let chain = ChainStore { local: &self.db, remote };
+                    execute_speculative_on(&chain, txn)
+                }
+                None => execute_speculative(&self.db, txn),
+            };
+            let fx = match speculated {
+                Err(_) => {
+                    flags[idx] |= flag::USER;
+                    outcomes.push(None);
+                    continue;
+                }
+                Ok(fx) => fx,
+            };
+            let tid = txn.tid.0;
+            let Staged { normal, delayed, forced } =
+                stage_effects(&self.cfg, &self.commutative_tables, &fx);
+            if forced {
+                flags[idx] |= flag::FORCED;
+                outcomes.push(Some(ExecOutcome {
+                    normal: Vec::new(),
+                    delayed: Vec::new(),
+                    effects: fx,
+                }));
+                continue;
+            }
+            for a in cell_accesses(&self.db, &fx, &normal) {
+                match a {
+                    CellAccess::Read { table, row, col, cell } => {
+                        if owns_row(table, row) {
+                            MinTidLog::note(&mut log.read_min, (table, col, cell), tid);
+                        }
+                    }
+                    CellAccess::MembershipRead { table, partition } => {
+                        if owns_mem(table, partition) {
+                            MinTidLog::note_mem(&mut log.mem_read_min, (table, partition), tid);
+                        }
+                    }
+                    CellAccess::Write { table, row, col, cell, .. } => {
+                        if owns_row(table, row) {
+                            MinTidLog::note(&mut log.write_min, (table, col, cell), tid);
+                        }
+                    }
+                    CellAccess::Rmw { table, row, col, cell } => {
+                        if owns_row(table, row) {
+                            MinTidLog::note(&mut log.read_min, (table, col, cell), tid);
+                            MinTidLog::note(&mut log.write_min, (table, col, cell), tid);
+                        }
+                    }
+                    CellAccess::MembershipWrite { table, partition } => {
+                        if owns_mem(table, partition) {
+                            MinTidLog::note_mem(&mut log.mem_write_min, (table, partition), tid);
+                        }
+                    }
+                }
+            }
+            outcomes.push(Some(ExecOutcome { normal, delayed, effects: fx }));
+        }
+
+        // ---- Conflict detection over owned cells. ----
+        for (idx, out) in outcomes.iter().enumerate() {
+            let Some(out) = out else { continue };
+            if flags[idx] & (flag::USER | flag::FORCED) != 0 {
+                continue;
+            }
+            let tid = batch.txns[idx].tid.0;
+            for a in cell_accesses(&self.db, &out.effects, &out.normal) {
+                let (min_w, min_r, is_write, check_waw) = match a {
+                    CellAccess::Read { table, row, col, cell } => {
+                        if !owns_row(table, row) {
+                            continue;
+                        }
+                        (log.write_min.get(&(table, col, cell)), None, false, false)
+                    }
+                    CellAccess::MembershipRead { table, partition } => {
+                        if !owns_mem(table, partition) {
+                            continue;
+                        }
+                        (log.mem_write_min.get(&(table, partition)), None, false, false)
+                    }
+                    CellAccess::Write { table, row, col, cell, check_waw } => {
+                        if !owns_row(table, row) {
+                            continue;
+                        }
+                        (
+                            log.write_min.get(&(table, col, cell)),
+                            Some(log.read_min.get(&(table, col, cell))),
+                            true,
+                            check_waw,
+                        )
+                    }
+                    CellAccess::Rmw { table, row, col, cell } => {
+                        if !owns_row(table, row) {
+                            continue;
+                        }
+                        (
+                            log.write_min.get(&(table, col, cell)),
+                            Some(log.read_min.get(&(table, col, cell))),
+                            true,
+                            true,
+                        )
+                    }
+                    CellAccess::MembershipWrite { table, partition } => {
+                        if !owns_mem(table, partition) {
+                            continue;
+                        }
+                        (
+                            log.mem_write_min.get(&(table, partition)),
+                            Some(log.mem_read_min.get(&(table, partition))),
+                            true,
+                            false,
+                        )
+                    }
+                };
+                if is_write {
+                    if check_waw && min_w.is_some_and(|&m| m < tid) {
+                        flags[idx] |= flag::WAW;
+                    }
+                    if min_r.flatten().is_some_and(|&m| m < tid) {
+                        flags[idx] |= flag::WAR;
+                    }
+                } else if min_w.is_some_and(|&m| m < tid) {
+                    flags[idx] |= flag::RAW;
+                }
+            }
+        }
+
+        // Execute + detect span two of the three phase barriers; per-op
+        // work spreads over the worker pool. Reporting only — decisions
+        // never depend on simulated time.
+        let per_op = self.cost.index_ns + self.cost.read_ns + self.cost.write_ns;
+        let prep_ns =
+            2.0 * self.cost.barrier_ns + work_ops as f64 * per_op / self.cost.workers as f64;
+        CpuPrepared { outcomes, flags, prep_ns }
+    }
+
+    /// Apply the commit rule over the (possibly merged) flag words and
+    /// write back the owned mutations of committing transactions. Returns
+    /// `(committed?, finish sim-ns)` per transaction in sub-batch order.
+    pub fn finish(
+        &mut self,
+        batch: &Batch,
+        prepared: CpuPrepared,
+        scope: Option<&ExecScope<'_>>,
+    ) -> (Vec<bool>, f64) {
+        let CpuPrepared { outcomes, flags, .. } = prepared;
+        let owns_row = |t: TableId, k: i64| match scope {
+            None => true,
+            Some(s) => (s.owns_row)(t, k),
+        };
+        let reordering = self.cfg.opts.logical_reordering;
+        let committed: Vec<bool> = flags.iter().map(|&f| commit_decision(reordering, f)).collect();
+        for (idx, out) in outcomes.iter().enumerate() {
+            if !committed[idx] {
+                continue;
+            }
+            let Some(out) = out else { continue };
+            for m in &out.normal {
+                let (mt, mk) = match m {
+                    Mutation::Update { table, key, .. }
+                    | Mutation::Add { table, key, .. }
+                    | Mutation::Insert { table, key, .. }
+                    | Mutation::Delete { table, key } => (*table, *key),
+                };
+                if !owns_row(mt, mk) {
+                    continue;
+                }
+                match m {
+                    Mutation::Update { table, key, col, value } => {
+                        let t = self.db.table(*table);
+                        if let Some(rid) = t.lookup(*key) {
+                            t.set(rid, *col, *value);
+                        }
+                    }
+                    Mutation::Add { table, key, col, delta } => {
+                        let t = self.db.table(*table);
+                        if let Some(rid) = t.lookup(*key) {
+                            t.add(rid, *col, *delta);
+                        }
+                    }
+                    Mutation::Insert { table, key, values } => {
+                        match self.db.table(*table).insert(*key, values) {
+                            Ok(_) => {}
+                            // Mirrors the GPU engine's invariants: a
+                            // committed duplicate means WAW detection is
+                            // broken; capacity is provisioned at load time.
+                            Err(TableError::Duplicate(_)) => unreachable!(
+                                "committed duplicate insert: WAW detection failed for key {key}"
+                            ),
+                            Err(TableError::Full) => panic!(
+                                "table {} out of insert headroom",
+                                self.db.table(*table).schema().name
+                            ),
+                        }
+                    }
+                    Mutation::Delete { table, key } => {
+                        self.db.table(*table).delete(*key);
+                    }
+                }
+            }
+        }
+        // Delayed-update merge over owned cells, in sorted cell order.
+        let mut merge_map: HashMap<(TableId, ColId, i64), i64> = HashMap::new();
+        for (idx, out) in outcomes.iter().enumerate() {
+            if !committed[idx] {
+                continue;
+            }
+            let Some(out) = out else { continue };
+            for &(t, c, k, d) in &out.delayed {
+                if !owns_row(t, k) {
+                    continue;
+                }
+                let e = merge_map.entry((t, c, k)).or_insert(0);
+                *e = e.wrapping_add(d);
+            }
+        }
+        let mut merged: Vec<((TableId, ColId, i64), i64)> = merge_map.into_iter().collect();
+        merged.sort_unstable_by_key(|(cell, _)| *cell);
+        for ((t, c, k), sum) in merged {
+            let table = self.db.table(t);
+            if let Some(rid) = table.lookup(k) {
+                table.add(rid, c, sum);
+            }
+        }
+        let _ = batch;
+        (committed, self.cost.barrier_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltpg_storage::TableBuilder;
+    use ltpg_txn::{BatchEngine, IrOp, ProcId, Src, TidGen, Txn};
+
+    fn build_db() -> (Database, TableId) {
+        let mut db = Database::new();
+        let t = db.add_table(TableBuilder::new("T").columns(["a", "b"]).capacity(64).build());
+        for k in 0..8 {
+            db.table(t).insert(k, &[10, 0]).unwrap();
+        }
+        (db, t)
+    }
+
+    #[test]
+    fn unscoped_twin_matches_the_gpu_engine_decisions() {
+        let (db, t) = build_db();
+        let mk_txns = || -> Vec<Txn> {
+            (0..6)
+                .map(|i| {
+                    Txn::new(
+                        ProcId(0),
+                        vec![],
+                        vec![
+                            IrOp::Read { table: t, key: Src::Const(i), col: ColId(0), out: 0 },
+                            IrOp::Update {
+                                table: t,
+                                key: Src::Const(5),
+                                col: ColId(0),
+                                val: Src::Const(100 + i),
+                            },
+                        ],
+                    )
+                })
+                .collect()
+        };
+        let mut tids = TidGen::new();
+        let batch = Batch::assemble(vec![], mk_txns(), &mut tids);
+
+        let mut gpu = ltpg::LtpgEngine::new(db.deep_clone(), LtpgConfig::default());
+        let gpu_report = gpu.execute_batch_report(&batch);
+
+        let mut cpu = CpuShardEngine::new(db, LtpgConfig::default());
+        let prepared = cpu.prepare(&batch, None);
+        let (committed, _) = cpu.finish(&batch, prepared, None);
+        let cpu_committed: Vec<_> = batch
+            .txns
+            .iter()
+            .zip(&committed)
+            .filter(|(_, &c)| c)
+            .map(|(txn, _)| txn.tid)
+            .collect();
+        assert_eq!(cpu_committed, gpu_report.report.committed);
+        assert_eq!(
+            cpu.database().state_digest(),
+            gpu.database().state_digest(),
+            "same commits must leave the same state"
+        );
+    }
+}

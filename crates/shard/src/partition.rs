@@ -1,0 +1,236 @@
+//! Key-space partitioning: which shard owns which row.
+//!
+//! A [`Partitioner`] maps every `(table, key)` pair to a **home shard**
+//! through a per-table [`TableRule`]. The mapping is a pure function of
+//! the rule set — no `RandomState`, no per-process salt — so every node
+//! that holds the same rules derives the same homes, which is what lets
+//! the [router](crate::Router) classify transactions identically on every
+//! shard and across restarts.
+//!
+//! Ownership extends to membership (phantom-guard) partitions: the owner
+//! of key partition `p` of a table is the home of the smallest key in
+//! that partition (`p << MEMBERSHIP_PARTITION_SHIFT`). For rules whose
+//! granularity is at least one membership partition (e.g. the TPC-C
+//! order-table strides, which are multiples of 2⁴⁰), the membership owner
+//! coincides with the row owner of every key in the partition.
+
+use ltpg_storage::{TableId, MEMBERSHIP_PARTITION_SHIFT};
+use ltpg_workloads::tpcc::TpccTables;
+use ltpg_workloads::YcsbConfig;
+use std::collections::BTreeMap;
+
+/// How one table's keys map to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableRule {
+    /// Multiplicative hash of the key (Fibonacci constant), modulo the
+    /// shard count. The default for tables with no exploitable structure.
+    Hash,
+    /// `owner = (key div stride) mod shards`. Composite keys that pack a
+    /// partition-aligned field (e.g. the TPC-C warehouse) above a
+    /// `stride`-sized sub-key all land on that field's shard.
+    Stride {
+        /// Keys per contiguous run; must be positive.
+        stride: i64,
+    },
+    /// Sorted split points: `owner = #{b in bounds : b <= key}`, clamped
+    /// to the last shard. Pairs with contiguous key-range generators
+    /// ([`YcsbConfig::partition_bounds`]).
+    Range {
+        /// Ascending split points; `len + 1` ranges serve `len + 1 <= n`
+        /// shards (extra shards simply own no range of this table).
+        bounds: Vec<i64>,
+    },
+    /// Every shard holds a full copy. Reads are always local; writes must
+    /// reach every copy, so the router broadcasts writers of replicated
+    /// tables.
+    Replicated,
+}
+
+/// A deterministic `(table, key) -> shard` mapping.
+#[derive(Debug, Clone)]
+pub struct Partitioner {
+    shards: u32,
+    default_rule: TableRule,
+    rules: BTreeMap<TableId, TableRule>,
+}
+
+impl Partitioner {
+    /// A partitioner over `shards` shards applying `default_rule` to every
+    /// table without a specific rule.
+    pub fn new(shards: u32, default_rule: TableRule) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        if let TableRule::Stride { stride } = default_rule {
+            assert!(stride > 0, "stride must be positive");
+        }
+        Partitioner { shards, default_rule, rules: BTreeMap::new() }
+    }
+
+    /// A hash-everything partitioner (no table structure assumed).
+    pub fn hash(shards: u32) -> Self {
+        Partitioner::new(shards, TableRule::Hash)
+    }
+
+    /// Attach a per-table rule (builder style).
+    pub fn with_rule(mut self, table: TableId, rule: TableRule) -> Self {
+        if let TableRule::Stride { stride } = rule {
+            assert!(stride > 0, "stride must be positive");
+        }
+        self.rules.insert(table, rule);
+        self
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    fn rule(&self, table: TableId) -> &TableRule {
+        self.rules.get(&table).unwrap_or(&self.default_rule)
+    }
+
+    /// Whether every shard holds a full copy of `table`.
+    pub fn is_replicated(&self, table: TableId) -> bool {
+        matches!(self.rule(table), TableRule::Replicated)
+    }
+
+    /// Home shard of `(table, key)`. Replicated tables report shard 0 as
+    /// their nominal home; use [`owns_row`](Self::owns_row) for ownership.
+    pub fn home(&self, table: TableId, key: i64) -> u32 {
+        let n = u64::from(self.shards);
+        match self.rule(table) {
+            TableRule::Hash => {
+                let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                ((h >> 32) % n) as u32
+            }
+            TableRule::Stride { stride } => {
+                key.div_euclid(*stride).rem_euclid(i64::from(self.shards)) as u32
+            }
+            TableRule::Range { bounds } => {
+                let i = bounds.partition_point(|b| *b <= key) as u32;
+                i.min(self.shards - 1)
+            }
+            TableRule::Replicated => 0,
+        }
+    }
+
+    /// Owner of membership (phantom-guard) partition `p` of `table`: the
+    /// home of the partition's smallest key.
+    pub fn membership_owner(&self, table: TableId, partition: i64) -> u32 {
+        self.home(table, partition << MEMBERSHIP_PARTITION_SHIFT)
+    }
+
+    /// Does `shard` own row `(table, key)`? Replicated tables are owned
+    /// everywhere.
+    pub fn owns_row(&self, shard: u32, table: TableId, key: i64) -> bool {
+        self.is_replicated(table) || self.home(table, key) == shard
+    }
+
+    /// Does `shard` own membership partition `(table, partition)`?
+    /// Replicated tables' membership is owned everywhere.
+    pub fn owns_membership(&self, shard: u32, table: TableId, partition: i64) -> bool {
+        self.is_replicated(table) || self.membership_owner(table, partition) == shard
+    }
+
+    /// Row predicate for carving shard `shard`'s database slice out of a
+    /// global snapshot (see `ltpg_storage::Database::partition_clone`):
+    /// replicated tables keep every row, others keep the rows homed here.
+    pub fn slice_pred(&self, shard: u32) -> impl Fn(TableId, i64) -> bool + '_ {
+        move |t, k| self.owns_row(shard, t, k)
+    }
+}
+
+/// The warehouse-aligned TPC-C partitioner: every composite key packs the
+/// warehouse above a fixed-size sub-key, so stride rules recover `w` and
+/// route each table's rows to shard `w mod n`. ITEM is read-only catalogue
+/// data and is replicated; HISTORY is keyed by TID (no warehouse in the
+/// key) and falls back to hashing — Payment transactions therefore always
+/// carry a cross-shard HISTORY insert (see `TpccConfig::partitions`).
+pub fn tpcc_partitioner(shards: u32, t: &TpccTables) -> Partitioner {
+    Partitioner::new(shards, TableRule::Hash)
+        .with_rule(t.warehouse, TableRule::Stride { stride: 1 })
+        .with_rule(t.district, TableRule::Stride { stride: 16 })
+        .with_rule(t.customer, TableRule::Stride { stride: 16 * 4_096 })
+        .with_rule(t.stock, TableRule::Stride { stride: 131_072 })
+        .with_rule(t.item, TableRule::Replicated)
+        .with_rule(t.orders, TableRule::Stride { stride: 16 << 40 })
+        .with_rule(t.new_order, TableRule::Stride { stride: 16 << 40 })
+        .with_rule(t.order_line, TableRule::Stride { stride: 256 << 40 })
+        .with_rule(t.history, TableRule::Hash)
+}
+
+/// The range partitioner matching a partitioned YCSB generator: the
+/// `usertable`'s contiguous key partitions map one-to-one onto shards, so
+/// a `cross_shard_pct = 0` stream is single-shard by construction.
+pub fn ycsb_partitioner(shards: u32, usertable: TableId, cfg: &YcsbConfig) -> Partitioner {
+    assert_eq!(
+        shards, cfg.partitions,
+        "shard count must match the generator's partition count"
+    );
+    Partitioner::new(shards, TableRule::Hash)
+        .with_rule(usertable, TableRule::Range { bounds: cfg.partition_bounds() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltpg_workloads::tpcc::{cust_key, dist_key, order_key, orderline_key, stock_key, wh_key};
+    use ltpg_workloads::YcsbWorkload;
+
+    const T: TableId = TableId(0);
+
+    #[test]
+    fn stride_and_range_rules_agree_with_their_generators() {
+        let cfg = YcsbConfig::new(YcsbWorkload::A, 1_000).with_partitions(4, 0);
+        let p = ycsb_partitioner(4, T, &cfg);
+        let size = cfg.partition_size() as i64;
+        for k in 1..=1_000 {
+            assert_eq!(i64::from(p.home(T, k)), ((k - 1) / size).min(3), "key {k}");
+        }
+    }
+
+    #[test]
+    fn hash_rule_is_deterministic_and_spread() {
+        let p = Partitioner::hash(8);
+        let mut hit = [false; 8];
+        for k in 0..1_000 {
+            let h = p.home(T, k);
+            assert_eq!(h, p.home(T, k));
+            hit[h as usize] = true;
+        }
+        assert!(hit.iter().all(|&b| b), "all shards should receive keys");
+    }
+
+    #[test]
+    fn tpcc_rules_route_every_table_by_warehouse() {
+        let t = TpccTables {
+            warehouse: TableId(0),
+            district: TableId(1),
+            customer: TableId(2),
+            item: TableId(3),
+            stock: TableId(4),
+            orders: TableId(5),
+            new_order: TableId(6),
+            order_line: TableId(7),
+            history: TableId(8),
+        };
+        let p = tpcc_partitioner(4, &t);
+        for w in 1..=16i64 {
+            let shard = (w % 4) as u32;
+            assert_eq!(p.home(t.warehouse, wh_key(w)), shard);
+            for d in [1, 10] {
+                assert_eq!(p.home(t.district, dist_key(w, d)), shard);
+                assert_eq!(p.home(t.customer, cust_key(w, d, 3_000)), shard);
+                let ok = order_key(w, d, (1 << 40) - 1);
+                assert_eq!(p.home(t.orders, ok), shard);
+                assert_eq!(p.home(t.new_order, ok), shard);
+                assert_eq!(p.home(t.order_line, orderline_key(ok, 15)), shard);
+                // Membership partitions of the order tables are owned by
+                // the same shard as their rows.
+                assert_eq!(p.membership_owner(t.orders, ok >> 40), shard);
+                assert_eq!(p.membership_owner(t.order_line, orderline_key(ok, 15) >> 40), shard);
+            }
+            assert_eq!(p.home(t.stock, stock_key(w, 100_000)), shard);
+            assert!(p.owns_row(0, t.item, 5) && p.owns_row(3, t.item, 5));
+        }
+    }
+}

@@ -68,6 +68,25 @@ impl Database {
         Database { tables: self.tables.iter().map(Table::deep_clone).collect() }
     }
 
+    /// Clone the subset of rows for which `keep(table, key)` holds, keeping
+    /// every table present (possibly empty) so [`TableId`]s line up with the
+    /// source. This is the shard-slice constructor: a partitioner's
+    /// ownership predicate carves one device-resident snapshot out of the
+    /// global database.
+    pub fn partition_clone(&self, keep: impl Fn(TableId, i64) -> bool) -> Database {
+        Database {
+            tables: self
+                .tables
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let id = TableId(i as u16);
+                    t.filtered_clone(|k| keep(id, k))
+                })
+                .collect(),
+        }
+    }
+
     /// Digest of the complete live state. Two databases that executed the
     /// same committed transactions agree on this value.
     pub fn state_digest(&self) -> u64 {
@@ -119,6 +138,31 @@ mod tests {
         let rid = clone.table(a).lookup(3).unwrap();
         clone.table(a).set(rid, ColId(0), 31);
         assert_ne!(db.state_digest(), clone.state_digest());
+    }
+
+    #[test]
+    fn partition_clone_splits_rows_without_losing_any() {
+        let (db, a, b) = two_table_db();
+        for k in 1..=6 {
+            db.table(a).insert(k, &[k * 10]).unwrap();
+            db.table(b).insert(k, &[k, -k]).unwrap();
+        }
+        let even = db.partition_clone(|_, k| k % 2 == 0);
+        let odd = db.partition_clone(|_, k| k % 2 != 0);
+        assert_eq!(even.table_count(), 2);
+        assert_eq!(even.table(a).len() + odd.table(a).len(), 6);
+        assert_eq!(even.table(a).capacity(), db.table(a).capacity());
+        assert!(even.table(b).lookup(4).is_some());
+        assert!(even.table(b).lookup(3).is_none());
+        assert!(odd.table(b).lookup(3).is_some());
+        // Digests of disjoint slices re-fold to the whole-state digest.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for (id, t) in db.iter() {
+            let merged = t.filtered_clone(|_| true);
+            assert_eq!(merged.len(), db.table(id).len());
+            merged.digest_into(&mut h);
+        }
+        assert_eq!(h, db.state_digest());
     }
 
     #[test]

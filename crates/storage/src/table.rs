@@ -272,6 +272,31 @@ impl Table {
         clone
     }
 
+    /// Clone only the live rows whose key satisfies `keep`, preserving the
+    /// schema (and therefore the full cell capacity) and index kinds. Row
+    /// slots are compacted, which is fine everywhere this is used: the state
+    /// digest is row-order-insensitive, and engines address rows through the
+    /// primary index. This is how a shard derives its slice of a database —
+    /// every shard keeps full-capacity tables so conflict-log sizing (which
+    /// depends on capacity, not occupancy) stays identical to the
+    /// single-device engine.
+    pub fn filtered_clone(&self, keep: impl Fn(i64) -> bool) -> Table {
+        let mut clone = Table::new(self.schema.clone());
+        if self.ordered.is_some() {
+            clone = clone.with_ordered();
+        }
+        let n = self.len();
+        for r in 0..n {
+            let rid = RowId(r as u32);
+            let Some(k) = self.key_of(rid) else { continue };
+            if !keep(k) {
+                continue;
+            }
+            clone.insert(k, &self.row_values(rid)).expect("filtered clone insert");
+        }
+        clone
+    }
+
     /// Fold the table's live contents into a **row-order-insensitive**
     /// digest (a multiset hash: per-row FNV hashes combined by wrapping
     /// addition). Row slot order varies with write-back parallelism, but

@@ -133,3 +133,23 @@ pub const FAULT_COUNTERS: [&str; 5] = [
     FAULT_BYTES_TRUNCATED,
     FAULT_FALLBACK_ACTIVATIONS,
 ];
+
+// --- sharded multi-device execution -----------------------------------------
+
+/// Counter: sharded-server ticks that executed a batch.
+pub const SHARD_TICKS: &str = "shard.ticks";
+/// Counter: transactions routed to exactly one shard.
+pub const SHARD_SINGLE_TXNS: &str = "shard.route.single_txns";
+/// Counter: transactions routed to several (but not all) shards.
+pub const SHARD_CROSS_TXNS: &str = "shard.route.cross_txns";
+/// Counter: transactions broadcast to every shard (undeclarable access sets
+/// or writes to replicated tables).
+pub const SHARD_BROADCAST_TXNS: &str = "shard.route.broadcast_txns";
+/// Histogram: per-tick simulated ns a shard spent waiting at the merge
+/// barrier for the slowest participant (max prepare time minus its own).
+pub const SHARD_MERGE_STALL_NS: &str = "shard.merge.stall_ns";
+/// Histogram: per-tick simulated critical-path ns across all shards
+/// (slowest shard's prepare + finish).
+pub const SHARD_TICK_NS: &str = "shard.tick_ns";
+/// Gauge: shards currently degraded to the CPU fallback.
+pub const SHARD_DEGRADED: &str = "shard.degraded";

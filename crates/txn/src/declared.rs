@@ -24,6 +24,11 @@ pub struct DeclaredAccess {
     /// Rows inserted (unique new keys; append-only, never contended in the
     /// workloads here, but declared so lock-based engines can cover them).
     pub inserts: Vec<(TableId, i64)>,
+    /// Rows deleted. Deletes also appear in `writes` (they contend like any
+    /// write), but are listed separately because membership-changing ops
+    /// touch a table's membership partition — shard routers need them, like
+    /// inserts, to compute membership ownership.
+    pub deletes: Vec<(TableId, i64)>,
 }
 
 impl DeclaredAccess {
@@ -72,6 +77,7 @@ pub fn declared_accesses(txn: &Txn) -> Option<DeclaredAccess> {
             IrOp::Delete { table, key } => {
                 let k = fold(*key, &regs)?;
                 push_unique(&mut acc.writes, (*table, k));
+                push_unique(&mut acc.deletes, (*table, k));
             }
             IrOp::Compute { f, a, b, out } => {
                 let av = fold(*a, &regs);

@@ -64,6 +64,20 @@ pub struct TpccConfig {
     pub insert_headroom: usize,
     /// RNG seed: population and parameter streams are derived from it.
     pub seed: u64,
+    /// Warehouse-aligned partition count for sharded execution (1 = classic
+    /// generator, RNG stream bit-identical to pre-knob builds). With
+    /// `n > 1`, warehouses are grouped round-robin by `w % n` — matching a
+    /// stride-based shard partitioner that derives the warehouse from every
+    /// TPC-C composite key — and *remote* picks (NewOrder supply warehouses,
+    /// Payment customer warehouses) stay inside the home warehouse's group
+    /// unless the cross-shard roll fires. Payment's TID-keyed HISTORY insert
+    /// is not warehouse-aligned and still spreads across shards under hash
+    /// routing; partition-confined scaling experiments use YCSB.
+    pub partitions: u32,
+    /// Percentage (0–100) of *remote* picks that deliberately leave the home
+    /// warehouse group. Only meaningful when `partitions > 1`; the overall
+    /// cross-shard fraction is roughly `remote_*_pct × cross_shard_pct`.
+    pub cross_shard_pct: u32,
 }
 
 impl TpccConfig {
@@ -78,7 +92,20 @@ impl TpccConfig {
             remote_payment_pct: 15,
             insert_headroom: 1 << 20,
             seed: 0xD5C0_1234,
+            partitions: 1,
+            cross_shard_pct: 0,
         }
+    }
+
+    /// Group warehouses into `partitions` round-robin classes and let
+    /// `cross_shard_pct` percent of remote picks leave the home class (see
+    /// [`TpccConfig::partitions`]).
+    pub fn with_partitions(mut self, partitions: u32, cross_shard_pct: u32) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        assert!(cross_shard_pct <= 100, "cross_shard_pct is a percentage");
+        self.partitions = partitions;
+        self.cross_shard_pct = cross_shard_pct;
+        self
     }
 
     /// Override the item-selection distribution.
@@ -185,6 +212,48 @@ impl TpccGenerator {
         self.rng.gen_range(1..=self.cfg.warehouses)
     }
 
+    /// Pick a remote (≠ `w`) warehouse. Unpartitioned, any other warehouse
+    /// qualifies and the RNG draw matches pre-knob builds bit-for-bit. With
+    /// `partitions > 1` the pick stays inside `w`'s round-robin group
+    /// (`w % partitions`) unless the cross-shard roll fires; a group with no
+    /// other member falls back to a cross-group pick so the remote fraction
+    /// is preserved.
+    fn pick_remote_warehouse(&mut self, w: i64) -> i64 {
+        let p = i64::from(self.cfg.partitions);
+        if p <= 1 {
+            let mut sw = self.rng.gen_range(1..=self.cfg.warehouses - 1);
+            if sw >= w {
+                sw += 1;
+            }
+            return sw;
+        }
+        let cross = self.rng.gen_range(0..100u32) < self.cfg.cross_shard_pct;
+        let rem = w.rem_euclid(p);
+        let first = if rem == 0 { p } else { rem };
+        let group = if first > self.cfg.warehouses {
+            0
+        } else {
+            (self.cfg.warehouses - first) / p + 1
+        };
+        if !cross && group > 1 {
+            let own = (w - first) / p;
+            let mut idx = self.rng.gen_range(0..group - 1);
+            if idx >= own {
+                idx += 1;
+            }
+            return first + idx * p;
+        }
+        // Cross-group (or the home group has no other member): rejection-
+        // sample a warehouse of a different residue class. Terminates since
+        // `warehouses >= 2` inhabits at least two classes when `p >= 2`.
+        loop {
+            let sw = self.rng.gen_range(1..=self.cfg.warehouses);
+            if sw.rem_euclid(p) != rem {
+                return sw;
+            }
+        }
+    }
+
     /// NewOrder: read warehouse/district/customer, derive a TID-unique
     /// order id, insert ORDERS + NEW_ORDER, then per order line read the
     /// item, RMW the stock row (non-commutative wraparound — the genuine
@@ -234,12 +303,7 @@ impl TpccGenerator {
                 && self.rng.gen_range(0..100u32) < u32::from(self.cfg.remote_ol_pct)
             {
                 all_local = 0;
-                // Pick a different warehouse.
-                let mut sw = self.rng.gen_range(1..=self.cfg.warehouses - 1);
-                if sw >= w {
-                    sw += 1;
-                }
-                sw
+                self.pick_remote_warehouse(w)
             } else {
                 w
             };
@@ -328,10 +392,7 @@ impl TpccGenerator {
         let (cw, cd) = if self.cfg.warehouses > 1
             && self.rng.gen_range(0..100u32) < u32::from(self.cfg.remote_payment_pct)
         {
-            let mut rw = self.rng.gen_range(1..=self.cfg.warehouses - 1);
-            if rw >= w {
-                rw += 1;
-            }
+            let rw = self.pick_remote_warehouse(w);
             (rw, self.rng.gen_range(1..=DISTRICTS_PER_W))
         } else {
             (w, d)
@@ -549,6 +610,50 @@ mod tests {
         let (_d1, _t1, mut g1) = TpccGenerator::new(TpccConfig::new(1, 50).with_headroom(64).with_seed(5));
         let (_d2, _t2, mut g2) = TpccGenerator::new(TpccConfig::new(1, 50).with_headroom(64).with_seed(5));
         assert_eq!(g1.gen_batch(50), g2.gen_batch(50));
+    }
+
+    #[test]
+    fn partitions_one_preserves_classic_stream() {
+        let mk = |cfg: TpccConfig| {
+            let (_d, _t, mut g) = TpccGenerator::new(cfg);
+            g.gen_batch(300)
+        };
+        let base = TpccConfig::new(4, 50).with_headroom(4_096);
+        assert_eq!(mk(base.clone()), mk(base.with_partitions(1, 0)));
+    }
+
+    #[test]
+    fn partitioned_remote_picks_stay_in_warehouse_group() {
+        // 8 warehouses, 4 groups (w % 4), remote payments only, 0% cross.
+        let cfg = TpccConfig::new(8, 0).with_headroom(4_096).with_partitions(4, 0);
+        let (_d, _t, mut g) = TpccGenerator::new(cfg);
+        let batch = g.gen_batch(2_000);
+        let mut remote = 0;
+        for t in &batch {
+            // params: [w, d, cw, cd, c, amount, date]
+            let (w, cw) = (t.params[0], t.params[2]);
+            if w != cw {
+                remote += 1;
+                assert_eq!(w % 4, cw % 4, "remote pick left the warehouse group");
+            }
+        }
+        assert!(remote > 100, "remote payments should still occur ({remote})");
+    }
+
+    #[test]
+    fn cross_shard_pct_sends_remote_picks_out_of_group() {
+        let cfg = TpccConfig::new(8, 0).with_headroom(4_096).with_partitions(4, 100);
+        let (_d, _t, mut g) = TpccGenerator::new(cfg);
+        let batch = g.gen_batch(2_000);
+        let mut remote = 0;
+        for t in &batch {
+            let (w, cw) = (t.params[0], t.params[2]);
+            if w != cw {
+                remote += 1;
+                assert_ne!(w % 4, cw % 4, "100% cross pick stayed in group");
+            }
+        }
+        assert!(remote > 100, "remote payments should still occur ({remote})");
     }
 
     #[test]

@@ -94,6 +94,19 @@ pub struct YcsbConfig {
     pub insert_headroom: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Number of contiguous key partitions the keyspace is carved into for
+    /// sharded execution (1 = the classic unpartitioned generator; the RNG
+    /// stream is bit-identical to pre-knob builds in that case). With `n > 1`
+    /// each transaction picks a home partition uniformly and draws its
+    /// Zipfian keys inside it, so a [Range-partitioned] shard layout makes
+    /// the transaction single-shard by construction.
+    ///
+    /// [Range-partitioned]: YcsbConfig::partition_bounds
+    pub partitions: u32,
+    /// Percentage (0–100) of transactions that deliberately straddle two
+    /// partitions: odd-numbered operation slots draw their keys from a
+    /// second, distinct partition. Only meaningful when `partitions > 1`.
+    pub cross_shard_pct: u32,
 }
 
 impl YcsbConfig {
@@ -108,6 +121,8 @@ impl YcsbConfig {
             ordered_scans: false,
             insert_headroom: 1 << 18,
             seed: 0x7963_7362,
+            partitions: 1,
+            cross_shard_pct: 0,
         }
     }
 
@@ -135,6 +150,31 @@ impl YcsbConfig {
         self.ordered_scans = true;
         self
     }
+
+    /// Carve the keyspace into `partitions` contiguous ranges and make
+    /// `cross_shard_pct` percent of transactions straddle two of them (see
+    /// [`YcsbConfig::partitions`]).
+    pub fn with_partitions(mut self, partitions: u32, cross_shard_pct: u32) -> Self {
+        assert!(partitions >= 1, "need at least one partition");
+        assert!(cross_shard_pct <= 100, "cross_shard_pct is a percentage");
+        self.partitions = partitions;
+        self.cross_shard_pct = cross_shard_pct;
+        self
+    }
+
+    /// Keys per partition (`records / partitions`, floor division; leftover
+    /// tail keys belong to the last partition but are never drawn).
+    pub fn partition_size(&self) -> u64 {
+        self.records / u64::from(self.partitions.max(1))
+    }
+
+    /// Range-partitioner split points: partition `i` covers keys
+    /// `(i·size, i·size + size]`. Feed these to a range-based shard
+    /// partitioner so each home partition maps onto exactly one shard.
+    pub fn partition_bounds(&self) -> Vec<i64> {
+        let size = self.partition_size() as i64;
+        (1..i64::from(self.partitions.max(1))).map(|j| j * size + 1).collect()
+    }
 }
 
 /// Deterministic YCSB transaction generator.
@@ -144,6 +184,10 @@ pub struct YcsbGenerator {
     table: TableId,
     rng: StdRng,
     zipf: Zipf,
+    /// Zipfian over one partition's key range (`partitions > 1` only).
+    part_zipf: Option<Zipf>,
+    /// Key offset of the partition the current operation draws from.
+    cur_base: i64,
     /// Next key for workload D/E inserts.
     next_insert_key: i64,
 }
@@ -178,9 +222,18 @@ impl YcsbGenerator {
     /// populated database across engines via deep clones).
     pub fn from_parts(cfg: YcsbConfig, table: TableId) -> YcsbGenerator {
         let zipf = Zipf::new(cfg.records, cfg.zipf_alpha);
+        let part_zipf = if cfg.partitions > 1 {
+            assert!(
+                cfg.partition_size() >= 1,
+                "records must cover at least one key per partition"
+            );
+            Some(Zipf::new(cfg.partition_size(), cfg.zipf_alpha))
+        } else {
+            None
+        };
         let rng = StdRng::seed_from_u64(cfg.seed ^ 0x6f70_7321);
         let next_insert_key = cfg.records as i64 + 1;
-        YcsbGenerator { cfg, table, rng, zipf, next_insert_key }
+        YcsbGenerator { cfg, table, rng, zipf, part_zipf, cur_base: 0, next_insert_key }
     }
 
     /// The `usertable` id.
@@ -194,7 +247,10 @@ impl YcsbGenerator {
     }
 
     fn zipf_key(&mut self) -> i64 {
-        self.zipf.sample_scrambled(&mut self.rng) as i64
+        match &self.part_zipf {
+            Some(pz) => self.cur_base + pz.sample_scrambled(&mut self.rng) as i64,
+            None => self.zipf.sample_scrambled(&mut self.rng) as i64,
+        }
     }
 
     /// Workload D's "latest" distribution: recency-skewed key below the
@@ -208,10 +264,43 @@ impl YcsbGenerator {
         ColId(self.rng.gen_range(0..FIELDS))
     }
 
+    /// Pick the current transaction's home partition base and, if the
+    /// cross-shard roll fires, a second distinct partition base for odd
+    /// operation slots. Draws nothing from the RNG when unpartitioned, so
+    /// `partitions <= 1` preserves the classic key stream bit-for-bit.
+    fn pick_txn_partitions(&mut self) -> (i64, i64, bool) {
+        if self.cfg.partitions <= 1 {
+            return (0, 0, false);
+        }
+        let p = i64::from(self.cfg.partitions);
+        let size = self.cfg.partition_size() as i64;
+        let home = self.rng.gen_range(0..p);
+        let cross = self.rng.gen_range(0..100u32) < self.cfg.cross_shard_pct;
+        let base = home * size;
+        let alt = if cross {
+            let mut o = self.rng.gen_range(0..p - 1);
+            if o >= home {
+                o += 1;
+            }
+            o * size
+        } else {
+            base
+        };
+        (base, alt, cross)
+    }
+
     /// Generate one transaction of `cfg.ops_per_txn` operations.
+    ///
+    /// Workload D's "latest" reads and D/E inserts are *not* partition
+    /// confined: inserts land above the preloaded keyspace (owned by the
+    /// last range partition) and additionally touch the table's membership
+    /// partition, so they are inherently multi-shard under range sharding.
+    /// Partition-confined scaling experiments should use workloads A–C.
     pub fn gen_txn(&mut self) -> Txn {
+        let (home_base, alt_base, cross) = self.pick_txn_partitions();
         let mut ops = Vec::with_capacity(self.cfg.ops_per_txn);
         for slot in 0..self.cfg.ops_per_txn {
+            self.cur_base = if cross && slot % 2 == 1 { alt_base } else { home_base };
             let out = (slot % 128) as u8;
             let roll = self.rng.gen_range(0..100u32);
             let op = match self.cfg.workload {
@@ -351,6 +440,53 @@ mod tests {
         let max = counts.values().max().copied().unwrap();
         // α = 2.5 concentrates ~74 % of accesses on one key.
         assert!(max as f64 / total as f64 > 0.6, "hottest key fraction {}", max as f64 / total as f64);
+    }
+
+    fn touched_partitions(txn: &Txn, size: i64) -> std::collections::BTreeSet<i64> {
+        txn.ops
+            .iter()
+            .filter_map(|op| match op {
+                IrOp::Read { key: Src::Const(k), .. }
+                | IrOp::Update { key: Src::Const(k), .. } => Some((k - 1) / size),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_one_preserves_classic_stream() {
+        let mk = |cfg: YcsbConfig| {
+            let (_d, _t, mut g) = YcsbGenerator::new(cfg);
+            g.gen_batch(40)
+        };
+        assert_eq!(mk(config(YcsbWorkload::A)), mk(config(YcsbWorkload::A).with_partitions(1, 0)));
+    }
+
+    #[test]
+    fn partitioned_keys_stay_in_home_partition() {
+        let cfg = config(YcsbWorkload::A).with_partitions(4, 0);
+        let size = cfg.partition_size() as i64;
+        assert_eq!(cfg.partition_bounds(), vec![size + 1, 2 * size + 1, 3 * size + 1]);
+        let (_d, _t, mut g) = YcsbGenerator::new(cfg);
+        let mut seen = std::collections::BTreeSet::new();
+        for txn in g.gen_batch(200) {
+            let parts = touched_partitions(&txn, size);
+            assert_eq!(parts.len(), 1, "0% cross-shard txn touched {parts:?}");
+            seen.extend(parts);
+        }
+        assert_eq!(seen.len(), 4, "all partitions should be drawn as homes");
+    }
+
+    #[test]
+    fn cross_shard_fraction_tracks_knob() {
+        let cfg = config(YcsbWorkload::A).with_partitions(4, 50);
+        let size = cfg.partition_size() as i64;
+        let (_d, _t, mut g) = YcsbGenerator::new(cfg);
+        let batch = g.gen_batch(400);
+        let cross =
+            batch.iter().filter(|t| touched_partitions(t, size).len() == 2).count();
+        let frac = cross as f64 / batch.len() as f64;
+        assert!((frac - 0.5).abs() < 0.1, "cross-shard fraction {frac}");
     }
 
     #[test]
