@@ -92,6 +92,34 @@ pub fn commit_decision(logical_reordering: bool, f: u32) -> bool {
     }
 }
 
+/// Deliberate-bug injection for the differential QA harness (`ltpg-qa`).
+///
+/// Only compiled under the `qa-inject` cargo feature — the cross-crate
+/// analogue of a `#[cfg(test)]` hook — and default-off at runtime even
+/// then, so feature unification during workspace test builds changes
+/// nothing. The harness's self-test arms the hook, fuzzes until the
+/// resulting divergence is caught, and asserts the shrinker reduces the
+/// failing case to a handful of transactions.
+#[cfg(feature = "qa-inject")]
+pub mod qa_inject {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static WAW_BLIND_SPOT: AtomicBool = AtomicBool::new(false);
+
+    /// Arm/disarm the injected bug: transactions whose TID is a multiple
+    /// of 3 become invisible to WAW detection at commit time, so a WAW
+    /// loser with such a TID commits alongside the winner — exactly the
+    /// class of merge-path determinism bug the harness exists to catch.
+    pub fn set_waw_blind_spot(on: bool) {
+        WAW_BLIND_SPOT.store(on, Ordering::SeqCst);
+    }
+
+    /// Whether the blind spot is armed.
+    pub fn waw_blind_spot() -> bool {
+        WAW_BLIND_SPOT.load(Ordering::SeqCst)
+    }
+}
+
 /// Result of [`stage_effects`]: speculation output split into plain
 /// buffered mutations, staged commutative deltas, and the forced-abort
 /// verdict. Shared by the execute kernel and the sharded CPU twin so both
@@ -816,6 +844,14 @@ impl LtpgEngine {
         prepared: PreparedBatch,
         scope: Option<&ExecScope<'_>>,
     ) -> Result<ReportWithStats, DeviceError> {
+        #[cfg(feature = "qa-inject")]
+        if qa_inject::waw_blind_spot() {
+            for (i, txn) in batch.txns.iter().enumerate() {
+                if txn.tid.0 % 3 == 0 {
+                    prepared.set_flag_word(i, prepared.flag_word(i) & !flag::WAW);
+                }
+            }
+        }
         let PreparedBatch { lane_order, outcomes, flags, detect_items, mut stats, wall_start } =
             prepared;
         let n = batch.len();

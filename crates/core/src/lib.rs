@@ -79,6 +79,8 @@ pub use engine::{
 };
 pub use faults::{FaultHorizon, FaultInjector, FaultPlan, WalDamage, WalDamageReport};
 pub use pipeline::{PipelineOutcome, PipelinedRunner};
+#[cfg(feature = "qa-inject")]
+pub use engine::qa_inject;
 pub use recovery::{
     DurabilityManager, RecoveryError, RecoveryOptions, RecoveryOutcome, RecoveryStats, TailPolicy,
 };

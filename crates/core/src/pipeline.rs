@@ -20,12 +20,23 @@ use crate::engine::LtpgEngine;
 pub struct PipelineOutcome {
     /// Batches executed.
     pub batches: usize,
+    /// Fresh transactions admitted into some batch (re-executions are not
+    /// re-admissions). Every admitted transaction is accounted for:
+    /// `committed + still_pending + dropped == admitted`.
+    pub admitted: u64,
     /// Total transactions committed (re-executions count once, at commit).
     pub committed: u64,
     /// Total abort events (a transaction aborted twice counts twice).
     pub abort_events: u64,
     /// Transactions still awaiting re-execution when the run ended.
     pub still_pending: usize,
+    /// Transactions aborted within `requeue_delay` batches of the end of
+    /// the run: their re-execution slot lies past the last batch, so they
+    /// leave the pipeline uncommitted.
+    pub dropped: u64,
+    /// Largest batch actually executed (≤ the configured batch size: the
+    /// runner clamps re-entry waves to lane capacity).
+    pub max_batch_len: usize,
     /// Makespan without overlap, ns.
     pub serial_ns: f64,
     /// Makespan with upload/compute/download overlapped, ns.
@@ -84,16 +95,42 @@ impl PipelinedRunner {
     ) -> PipelineOutcome {
         // requeue_at[i] = transactions scheduled to re-enter at batch i.
         let mut requeue: VecDeque<Vec<Txn>> = VecDeque::new();
+        // Fresh transactions handed over by `gen` beyond what the current
+        // batch could seat (bursty generators may overshoot the request);
+        // they take the front of the next batch's fresh allotment.
+        let mut fresh_overflow: Vec<Txn> = Vec::new();
         let mut pipe = Pipeline::new();
+        let mut admitted = 0u64;
         let mut committed = 0u64;
         let mut abort_events = 0u64;
+        let mut dropped = 0u64;
+        let mut max_batch_len = 0usize;
         let mut rate_sum = 0.0f64;
 
         for i in 0..batches {
-            let requeued = requeue.pop_front().unwrap_or_default();
-            let fresh_needed = batch_size.saturating_sub(requeued.len());
-            let fresh = gen(fresh_needed);
+            let mut requeued = requeue.pop_front().unwrap_or_default();
+            // Clamp the re-entry wave to lane capacity; the overflow
+            // (youngest TIDs last, so they wait) carries to the next batch.
+            if requeued.len() > batch_size {
+                let overflow = requeued.split_off(batch_size);
+                if requeue.is_empty() {
+                    requeue.push_back(Vec::new());
+                }
+                let next = requeue.front_mut().expect("slot just ensured");
+                // Overflow TIDs predate anything already scheduled there.
+                next.splice(0..0, overflow);
+            }
+            let fresh_needed = batch_size - requeued.len();
+            let mut fresh = std::mem::take(&mut fresh_overflow);
+            if fresh.len() < fresh_needed {
+                fresh.extend(gen(fresh_needed - fresh.len()));
+            }
+            if fresh.len() > fresh_needed {
+                fresh_overflow = fresh.split_off(fresh_needed);
+            }
+            admitted += fresh.len() as u64;
             let batch = Batch::assemble(requeued, fresh, tids);
+            max_batch_len = max_batch_len.max(batch.len());
             let rws = engine.execute_batch_report(&batch);
             committed += rws.report.committed.len() as u64;
             abort_events += rws.report.aborted.len() as u64;
@@ -106,26 +143,36 @@ impl PipelinedRunner {
                     + rws.stats.sync_ns,
                 d2h_ns: rws.stats.d2h_ns,
             });
-            // Schedule aborts for batch i + delay.
-            if !rws.report.aborted.is_empty() && i + self.requeue_delay < batches {
-                let retry: Vec<Txn> = rws
-                    .report
-                    .aborted
-                    .iter()
-                    .map(|tid| batch.by_tid(*tid).expect("aborted tid in batch").clone())
-                    .collect();
-                while requeue.len() < self.requeue_delay {
-                    requeue.push_back(Vec::new());
+            // Schedule aborts for batch i + delay; aborts whose re-entry
+            // slot lies past the last batch leave the pipeline as dropped
+            // (they are still accounted: committed + pending + dropped =
+            // admitted).
+            if !rws.report.aborted.is_empty() {
+                if i + self.requeue_delay < batches {
+                    let retry: Vec<Txn> = rws
+                        .report
+                        .aborted
+                        .iter()
+                        .map(|tid| batch.by_tid(*tid).expect("aborted tid in batch").clone())
+                        .collect();
+                    while requeue.len() < self.requeue_delay {
+                        requeue.push_back(Vec::new());
+                    }
+                    requeue[self.requeue_delay - 1].extend(retry);
+                } else {
+                    dropped += rws.report.aborted.len() as u64;
                 }
-                requeue[self.requeue_delay - 1].extend(retry);
             }
         }
         let still_pending = requeue.iter().map(Vec::len).sum();
         PipelineOutcome {
             batches,
+            admitted,
             committed,
             abort_events,
             still_pending,
+            dropped,
+            max_batch_len,
             serial_ns: pipe.serial_makespan_ns(),
             overlapped_ns: pipe.overlapped_makespan_ns(),
             mean_commit_rate: if batches == 0 { 0.0 } else { rate_sum / batches as f64 },
@@ -198,10 +245,55 @@ mod tests {
         let (mut engine, mut gen) = contended_setup();
         let mut tids = TidGen::new();
         let out = PipelinedRunner::new(true).run(&mut engine, &mut gen, &mut tids, 10, 16);
-        // committed + pending + aborts-dropped-at-tail = total admitted.
-        // Admitted = 10 batches × 16 slots, where requeued txns occupy
-        // slots; so committed + still_pending ≤ admitted and every commit
-        // is unique.
-        assert!(out.committed as usize + out.still_pending <= 10 * 16);
+        // Exact conservation: every admitted transaction either committed,
+        // is still waiting in a re-entry slot, or was aborted too close to
+        // the end to re-enter (dropped). Nothing vanishes silently.
+        assert_eq!(
+            out.committed + out.still_pending as u64 + out.dropped,
+            out.admitted,
+            "pipeline lost transactions: {out:?}"
+        );
+        // Heavy WAW contention near the tail must surface as drops or
+        // pending work, never as a shortfall.
+        assert!(out.admitted <= 10 * 16);
+    }
+
+    #[test]
+    fn dropped_counts_tail_aborts() {
+        let (mut engine, mut gen) = contended_setup();
+        let mut tids = TidGen::new();
+        // delay = 2 with every batch aborting most of its 16 writers over
+        // 8 keys: the last two batches' aborts cannot re-enter.
+        let out = PipelinedRunner::new(true).run(&mut engine, &mut gen, &mut tids, 6, 16);
+        assert!(out.dropped > 0, "tail aborts must be reported as dropped: {out:?}");
+        assert_eq!(out.committed + out.still_pending as u64 + out.dropped, out.admitted);
+    }
+
+    #[test]
+    fn bursty_generator_never_overfills_a_batch() {
+        const BATCH: usize = 16;
+        let (mut engine, mut gen_one) = contended_setup();
+        // An arrival process that delivers whole bursts: every request is
+        // answered with 2.5 batches' worth of conflicting writers, so the
+        // runner sees abort storms bigger than one batch and must clamp.
+        let mut bursty = |n: usize| {
+            if n == 0 {
+                return Vec::new();
+            }
+            gen_one(BATCH * 5 / 2)
+        };
+        let mut tids = TidGen::new();
+        let out = PipelinedRunner::new(true).run(&mut engine, &mut bursty, &mut tids, 8, BATCH);
+        assert!(
+            out.max_batch_len <= BATCH,
+            "batch overfilled past lane capacity: {}",
+            out.max_batch_len
+        );
+        assert!(out.abort_events > 0, "storm must cause aborts");
+        assert_eq!(
+            out.committed + out.still_pending as u64 + out.dropped,
+            out.admitted,
+            "overflow carry lost transactions: {out:?}"
+        );
     }
 }

@@ -1,0 +1,245 @@
+//! The seeded case generator.
+//!
+//! Everything a case contains — schema shape, initial rows, transaction
+//! schedule, sharding, fault plan — is derived from one `u64` seed via
+//! `StdRng`, so a seed is a complete, replayable description of a case.
+//! Coverage is deliberately broad and adversarial:
+//!
+//! * 1–3 tables, 1–3 columns, optionally carrying an ordered index, with
+//!   per-table shard rules (hash / stride / replicated, i.e. broadcast
+//!   writes);
+//! * YCSB-fragment point ops (Zipfian keys, including the α just above 1
+//!   regime), TPC-C-fragment read-modify-write chains and TID-keyed
+//!   inserts, plus deletes and duplicate-prone inserts for phantom and
+//!   user-abort coverage, and range scans against ordered tables;
+//! * batch sizes small enough that schedules span many batches, 1/2/4
+//!   shards, pipelined re-execution (re-entry delay 2), checkpoint
+//!   cadences, mid-run shard loss, and a commutative (delayed-merge)
+//!   column in one fifth of the cases.
+
+use ltpg_storage::{ColId, TableId};
+use ltpg_txn::{ComputeFn, IrOp, ProcId, Src, Txn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{QaCase, ShardRule, TableSpec};
+
+/// Shape of one table while the schedule is being generated (capacity is
+/// finalized afterwards, once the insert count is known).
+struct TableShape {
+    cols: u16,
+    rows: i64,
+    ordered: bool,
+    rule: ShardRule,
+    inserts: usize,
+}
+
+/// Generate the case for `seed`.
+pub fn generate(seed: u64) -> QaCase {
+    // Decorrelate consecutive seeds without losing reproducibility.
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+
+    let ntables = rng.gen_range(1..=3usize);
+    let mut shapes: Vec<TableShape> = (0..ntables)
+        .map(|_| TableShape {
+            cols: rng.gen_range(1..=3u16),
+            rows: [8i64, 16, 32][rng.gen_range(0..3usize)],
+            ordered: rng.gen_bool(0.3),
+            rule: match rng.gen_range(0..10u32) {
+                0..=4 => ShardRule::Hash,
+                5..=7 => ShardRule::Stride([1i64, 2, 8][rng.gen_range(0..3usize)]),
+                _ => ShardRule::Replicated,
+            },
+            inserts: 0,
+        })
+        .collect();
+
+    // One Zipf exponent per case; 1.01 deliberately sits in the regime the
+    // sampler used to degenerate in.
+    let alpha = [0.0f64, 0.8, 1.01, 2.5][rng.gen_range(0..4usize)];
+    let ntxns = rng.gen_range(8..=80usize);
+    let mut txns = Vec::with_capacity(ntxns);
+    for _ in 0..ntxns {
+        txns.push(gen_txn(&mut rng, &mut shapes, alpha));
+    }
+
+    let tables = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let mut rows = Vec::with_capacity(s.rows as usize);
+            for k in 0..s.rows {
+                let vals: Vec<i64> =
+                    (0..s.cols).map(|_| rng.gen_range(-100..100i64)).collect();
+                rows.push((k, vals));
+            }
+            TableSpec {
+                name: format!("T{i}"),
+                cols: s.cols,
+                capacity: s.rows as usize + s.inserts + 8,
+                ordered: s.ordered,
+                rule: s.rule,
+                rows,
+            }
+        })
+        .collect();
+
+    let shards = [1u32, 2, 4][rng.gen_range(0..3usize)];
+    let fail_shard = if shards > 1 && rng.gen_bool(0.2) {
+        Some((rng.gen_range(0..shards), rng.gen_range(0..3u32)))
+    } else {
+        None
+    };
+    QaCase {
+        seed,
+        tables,
+        txns,
+        batch_size: [4usize, 8, 16, 32][rng.gen_range(0..4usize)],
+        shards,
+        pipelined: rng.gen_bool(0.5),
+        checkpoint_every: if rng.gen_bool(0.3) { Some(2) } else { None },
+        fail_shard,
+        commutative_t0c0: rng.gen_bool(0.2),
+    }
+}
+
+/// A Zipf-skewed key in `0 .. 2*rows` — half the domain is seeded, half is
+/// initially absent, so reads miss, updates no-op, inserts create and
+/// deletes erase.
+fn key_for(rng: &mut StdRng, rows: i64, alpha: f64) -> i64 {
+    let domain = (2 * rows) as u64;
+    let z = ltpg_workloads::Zipf::new(domain, alpha);
+    let rank = z.sample_scrambled(rng);
+    (rank - 1) as i64
+}
+
+fn val_src(rng: &mut StdRng, params: usize, defined: &[u8]) -> Src {
+    match rng.gen_range(0..10u32) {
+        0..=5 => Src::Const(rng.gen_range(-50..50i64)),
+        6..=7 if params > 0 => Src::Param(rng.gen_range(0..params) as u8),
+        8 if !defined.is_empty() => Src::Reg(defined[rng.gen_range(0..defined.len())]),
+        _ => Src::Const(rng.gen_range(-50..50i64)),
+    }
+}
+
+fn gen_txn(rng: &mut StdRng, shapes: &mut [TableShape], alpha: f64) -> Txn {
+    let params: Vec<i64> =
+        (0..rng.gen_range(0..=2usize)).map(|_| rng.gen_range(0..16i64)).collect();
+    let nops = rng.gen_range(1..=6usize);
+    let mut ops = Vec::with_capacity(nops + 1);
+    let mut defined: Vec<u8> = Vec::new();
+    for _ in 0..nops {
+        let ti = rng.gen_range(0..shapes.len());
+        let t = TableId(ti as u16);
+        let shape = &shapes[ti];
+        let col = ColId(rng.gen_range(0..shape.cols));
+        let key = Src::Const(key_for(rng, shape.rows, alpha));
+        let rows = shape.rows;
+        let ordered = shape.ordered;
+        let op = match rng.gen_range(0..100u32) {
+            // Point read into a register.
+            0..=29 => {
+                let out = rng.gen_range(0..4u8);
+                defined.push(out);
+                IrOp::Read { table: t, key, col, out }
+            }
+            // Overwrite (sometimes with dataflow from an earlier read).
+            30..=49 => IrOp::Update {
+                table: t,
+                key,
+                col,
+                val: val_src(rng, params.len(), &defined),
+            },
+            // Commutative read-modify-write.
+            50..=64 => IrOp::Add {
+                table: t,
+                key,
+                col,
+                delta: val_src(rng, params.len(), &defined),
+            },
+            // Insert: TID-keyed (always fresh — the deterministic-database
+            // idiom) or a constant key that may collide for user-abort and
+            // phantom coverage.
+            65..=74 => {
+                shapes[ti].inserts += 1;
+                let ikey = if rng.gen_bool(0.6) {
+                    Src::Tid
+                } else {
+                    Src::Const(key_for(rng, rows, alpha))
+                };
+                let values: Vec<Src> = (0..shapes[ti].cols)
+                    .map(|_| Src::Const(rng.gen_range(-50..50i64)))
+                    .collect();
+                IrOp::Insert { table: t, key: ikey, values }
+            }
+            // Delete (phantom coverage against scans and inserts).
+            75..=81 => IrOp::Delete { table: t, key },
+            // Pure compute over whatever registers exist.
+            82..=89 => {
+                let f = [ComputeFn::Add, ComputeFn::Sub, ComputeFn::Mul, ComputeFn::Min,
+                    ComputeFn::Max][rng.gen_range(0..5usize)];
+                let a = val_src(rng, params.len(), &defined);
+                let b = val_src(rng, params.len(), &defined);
+                let out = rng.gen_range(0..4u8);
+                defined.push(out);
+                IrOp::Compute { f, a, b, out }
+            }
+            // Emulated short scan (point-lookup based, any table).
+            90..=94 => {
+                let out = rng.gen_range(0..4u8);
+                defined.push(out);
+                IrOp::ScanSum {
+                    table: t,
+                    start: Src::Const(rng.gen_range(0..rows)),
+                    count: rng.gen_range(1..=6u16),
+                    col,
+                    out,
+                }
+            }
+            // True ordered range scans, only against ordered tables.
+            _ => {
+                let out = rng.gen_range(0..4u8);
+                let lo = rng.gen_range(0..rows);
+                let hi = lo + rng.gen_range(1..=8i64);
+                defined.push(out);
+                if ordered {
+                    match rng.gen_range(0..3u32) {
+                        0 => IrOp::RangeSum {
+                            table: t,
+                            lo: Src::Const(lo),
+                            hi: Src::Const(hi),
+                            col,
+                            out,
+                        },
+                        1 => IrOp::RangeMinKey {
+                            table: t,
+                            lo: Src::Const(lo),
+                            hi: Src::Const(hi),
+                            out,
+                        },
+                        _ => IrOp::RangeCountBelow {
+                            table: t,
+                            lo: Src::Const(lo),
+                            hi: Src::Const(hi),
+                            col,
+                            threshold: Src::Const(rng.gen_range(-20..20i64)),
+                            out,
+                        },
+                    }
+                } else {
+                    IrOp::ScanSum {
+                        table: t,
+                        start: Src::Const(lo),
+                        count: (hi - lo) as u16,
+                        col,
+                        out,
+                    }
+                }
+            }
+        };
+        ops.push(op);
+    }
+    let txn = Txn::new(ProcId(rng.gen_range(0..4u16)), params, ops);
+    debug_assert!(txn.validate().is_ok(), "generator produced invalid txn: {txn:?}");
+    txn
+}

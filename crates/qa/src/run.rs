@@ -1,0 +1,286 @@
+//! The differential runner: one [`QaCase`](crate::QaCase), four execution
+//! paths, byte-level agreement or a typed [`Divergence`].
+//!
+//! Three passes per case:
+//!
+//! 1. **Engine pass** — the batches run through [`LtpgEngine`] and the
+//!    [`CpuFallbackEngine`] twin in parallel (no re-execution): commit
+//!    sets must match batch-for-batch, the serializability oracle must
+//!    accept every committed set against the pre-batch snapshot, and the
+//!    final state digests must be bit-identical.
+//! 2. **Server pass** — a single-device [`LtpgServer`] and a
+//!    [`ShardedServer`] (with the case's partitioner and optional
+//!    mid-run shard loss) tick in lockstep over the identical stream:
+//!    per-tick commit/abort TID sequences must agree, and every shard's
+//!    final slice must equal the single device's database restricted to
+//!    that shard's ownership predicate. Ticks are capped, not drained:
+//!    schedules that re-queue a doomed transaction forever (duplicate-key
+//!    inserts) still compare exactly over the executed prefix.
+//! 3. **Durability pass** — the single server's WAL is replayed from the
+//!    last checkpoint; the recovered database must digest-match the live
+//!    one.
+//!
+//! The whole case runs under `catch_unwind`: an engine panic on generated
+//! input is itself a reportable (and shrinkable) divergence, not a harness
+//! crash.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ltpg::{LtpgEngine, LtpgServer};
+use ltpg_baselines::CpuFallbackEngine;
+use ltpg_txn::oracle::check_snapshot_serializable;
+use ltpg_txn::{Batch, BatchEngine, Tid, TidGen, Txn};
+
+use crate::QaCase;
+
+/// How two execution paths disagreed on a case.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// Two paths committed different TID sets for the same batch/tick.
+    CommitSet {
+        /// Which comparison failed (e.g. `engine-vs-cpu`, `sharded-vs-single`).
+        site: String,
+        /// Batch (engine pass) or tick (server pass) index.
+        step: usize,
+        /// What the reference path decided.
+        expected: Vec<u64>,
+        /// What the path under comparison decided.
+        got: Vec<u64>,
+    },
+    /// Final state digests differ.
+    Digest {
+        /// Which comparison failed.
+        site: String,
+        /// Reference digest.
+        expected: u64,
+        /// Diverging digest.
+        got: u64,
+    },
+    /// The serializability oracle rejected a committed set.
+    Oracle {
+        /// Batch index within the engine pass.
+        step: usize,
+        /// The oracle's violation, rendered.
+        violation: String,
+    },
+    /// The sharded and single-device servers fell out of lockstep.
+    Lockstep {
+        /// Tick index.
+        step: usize,
+        /// What differed.
+        detail: String,
+    },
+    /// A shard's final slice does not equal the single device's restriction.
+    ShardSlice {
+        /// The diverging shard.
+        shard: u32,
+        /// Digest of the single device's slice.
+        expected: u64,
+        /// Digest of the shard's database.
+        got: u64,
+    },
+    /// WAL replay reconstructed a different database than the live one.
+    WalReplay {
+        /// What went wrong (digest pair or recovery error).
+        detail: String,
+    },
+    /// An execution path panicked on the case.
+    Panic {
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::CommitSet { site, step, expected, got } => write!(
+                f,
+                "commit-set divergence at {site} step {step}: expected {expected:?}, got {got:?}"
+            ),
+            Divergence::Digest { site, expected, got } => write!(
+                f,
+                "state-digest divergence at {site}: expected {expected:#018x}, got {got:#018x}"
+            ),
+            Divergence::Oracle { step, violation } => {
+                write!(f, "oracle violation at batch {step}: {violation}")
+            }
+            Divergence::Lockstep { step, detail } => {
+                write!(f, "lockstep divergence at tick {step}: {detail}")
+            }
+            Divergence::ShardSlice { shard, expected, got } => write!(
+                f,
+                "shard {shard} slice digest {got:#018x} != single-device slice {expected:#018x}"
+            ),
+            Divergence::WalReplay { detail } => write!(f, "WAL replay divergence: {detail}"),
+            Divergence::Panic { detail } => write!(f, "execution path panicked: {detail}"),
+        }
+    }
+}
+
+/// Summary of a case that ran clean.
+#[derive(Debug, Clone, Default)]
+pub struct CaseOutcome {
+    /// Transactions the engine pass committed.
+    pub engine_committed: usize,
+    /// Transactions the server pass committed (re-executions count once).
+    pub server_committed: u64,
+    /// Server-pass ticks executed.
+    pub ticks: usize,
+    /// Whether both servers fully drained within the tick cap (schedules
+    /// with permanently re-queued user aborts legitimately do not).
+    pub drained: bool,
+}
+
+fn tids(v: &[Tid]) -> Vec<u64> {
+    v.iter().map(|t| t.0).collect()
+}
+
+/// Run every execution path of `case`, returning the first divergence.
+pub fn run_case(case: &QaCase) -> Result<CaseOutcome, Divergence> {
+    match catch_unwind(AssertUnwindSafe(|| run_case_inner(case))) {
+        Ok(r) => r,
+        Err(p) => {
+            let detail = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(Divergence::Panic { detail })
+        }
+    }
+}
+
+fn run_case_inner(case: &QaCase) -> Result<CaseOutcome, Divergence> {
+    let mut outcome = CaseOutcome::default();
+    engine_pass(case, &mut outcome)?;
+    server_pass(case, &mut outcome)?;
+    Ok(outcome)
+}
+
+/// Pass 1: GPU engine vs CPU fallback twin vs the oracle, batch by batch.
+fn engine_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergence> {
+    let cfg = case.engine_config();
+    let db = case.build_database();
+    let mut gpu = LtpgEngine::new(db.deep_clone(), cfg.clone());
+    let mut cpu = CpuFallbackEngine::new(db, cfg.fallback_config());
+    let mut tidgen = TidGen::new();
+    for (step, chunk) in case.batches().enumerate() {
+        let pre = gpu.database().deep_clone();
+        let batch = Batch::assemble(Vec::new(), chunk.to_vec(), &mut tidgen);
+        let grep = gpu.execute_batch_report(&batch).report;
+        let crep = cpu.execute_batch(&batch);
+        if grep.committed != crep.committed {
+            return Err(Divergence::CommitSet {
+                site: "engine-vs-cpu".into(),
+                step,
+                expected: tids(&grep.committed),
+                got: tids(&crep.committed),
+            });
+        }
+        let committed: Vec<&Txn> = grep
+            .committed
+            .iter()
+            .map(|t| batch.by_tid(*t).expect("committed tid in batch"))
+            .collect();
+        outcome.engine_committed += committed.len();
+        check_snapshot_serializable(&pre, &committed, gpu.database()).map_err(|v| {
+            Divergence::Oracle { step, violation: format!("{v:?}") }
+        })?;
+    }
+    let (gd, cd) = (gpu.database().state_digest(), cpu.database().state_digest());
+    if gd != cd {
+        return Err(Divergence::Digest { site: "engine-vs-cpu".into(), expected: gd, got: cd });
+    }
+    Ok(())
+}
+
+/// Pass 2 + 3: single vs sharded server lockstep, slice digests, WAL replay.
+fn server_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergence> {
+    let cfg = case.engine_config();
+    let scfg = case.server_config();
+    let db = case.build_database();
+    let part = case.partitioner();
+    let mut single = LtpgServer::new(db.deep_clone(), cfg.clone(), scfg.clone());
+    let mut sharded = ltpg_shard::ShardedServer::new(db, part.clone(), cfg.clone(), scfg);
+    single.submit_all(case.txns.iter().cloned());
+    sharded.submit_all(case.txns.iter().cloned());
+
+    // Enough ticks to drain any schedule that *can* drain (re-entry delay
+    // ≤ 2 and min-TID winners guarantee progress), while bounding
+    // schedules that re-queue a doomed transaction forever.
+    let max_ticks = (case.txns.len() / case.batch_size.max(1) + 2) * 12 + 16;
+    let mut drained = false;
+    let mut ticks = 0usize;
+    for tick in 0..max_ticks {
+        if let Some((s, after)) = case.fail_shard {
+            if tick as u32 == after && s < sharded.shard_count() {
+                sharded.force_shard_failure(s);
+            }
+        }
+        let a = sharded.tick();
+        let b = single.tick();
+        ticks = tick + 1;
+        match (&a, &b) {
+            (Some(sa), Some(sb)) => {
+                if sa.committed != sb.committed || sa.aborted != sb.aborted {
+                    return Err(Divergence::Lockstep {
+                        step: tick,
+                        detail: format!(
+                            "sharded committed {:?} aborted {:?}; single committed {:?} aborted {:?}",
+                            tids(&sa.committed),
+                            tids(&sa.aborted),
+                            tids(&sb.committed),
+                            tids(&sb.aborted)
+                        ),
+                    });
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err(Divergence::Lockstep {
+                    step: tick,
+                    detail: format!(
+                        "one server idle before the other (sharded idle: {}, single idle: {})",
+                        a.is_none(),
+                        b.is_none()
+                    ),
+                });
+            }
+        }
+        if a.is_none() && b.is_none() && sharded.pending() == 0 && single.pending() == 0 {
+            drained = true;
+            break;
+        }
+    }
+    outcome.ticks = ticks;
+    outcome.drained = drained;
+    outcome.server_committed = single.stats().committed;
+
+    // Every shard's slice must equal the single device's restriction.
+    for s in 0..sharded.shard_count() {
+        let expected =
+            single.database().partition_clone(part.slice_pred(s)).state_digest();
+        let got = sharded.database(s).state_digest();
+        if expected != got {
+            return Err(Divergence::ShardSlice { shard: s, expected, got });
+        }
+    }
+
+    // Pass 3: WAL-replay equivalence on the single device.
+    match single.simulate_recovery(cfg) {
+        Ok(recovered) => {
+            let live = single.database().state_digest();
+            let rec = recovered.state_digest();
+            if live != rec {
+                return Err(Divergence::WalReplay {
+                    detail: format!("recovered digest {rec:#018x} != live {live:#018x}"),
+                });
+            }
+        }
+        Err(e) => {
+            return Err(Divergence::WalReplay { detail: format!("recovery failed: {e:?}") })
+        }
+    }
+    Ok(())
+}

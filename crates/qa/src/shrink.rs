@@ -1,0 +1,211 @@
+//! Greedy delta-debugging minimization of divergent cases.
+//!
+//! The shrinker repeatedly proposes a smaller candidate, re-runs the full
+//! differential check, and keeps the candidate iff it still diverges (any
+//! divergence counts — the failure may legitimately change shape as the
+//! case shrinks). Everything is a pure function of the case, so shrinking
+//! is deterministic. Reduction passes, applied to a fixpoint:
+//!
+//! 1. **Transaction ddmin** — drop chunks of transactions at halving
+//!    granularities down to single transactions.
+//! 2. **Op pruning** — drop individual ops inside each surviving
+//!    transaction (skipping removals that would break register dataflow).
+//! 3. **Domain shrinking** — drop seed rows, then drop trailing tables no
+//!    transaction references.
+//! 4. **Config simplification** — fewer shards, no pipeline, no fault
+//!    plan, no checkpointing, one big batch.
+
+use ltpg_txn::{IrOp, Txn};
+
+use crate::run::{run_case, Divergence};
+use crate::QaCase;
+
+/// Result of a successful shrink.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized case (still diverging).
+    pub case: QaCase,
+    /// The divergence the minimized case exhibits.
+    pub divergence: Divergence,
+    /// Differential runs spent shrinking (candidate evaluations).
+    pub steps: u64,
+}
+
+/// Evaluation budget: candidate runs per shrink. Generous — cases are
+/// small and each run is milliseconds — but bounded, so adversarial cases
+/// cannot wedge the fuzzer.
+const MAX_STEPS: u64 = 3_000;
+
+struct Ctx {
+    steps: u64,
+}
+
+impl Ctx {
+    /// Run a candidate; `Some(divergence)` keeps it.
+    fn diverges(&mut self, case: &QaCase) -> Option<Divergence> {
+        if self.steps >= MAX_STEPS {
+            return None;
+        }
+        self.steps += 1;
+        run_case(case).err()
+    }
+}
+
+/// Minimize `case`. Returns `None` if the case does not diverge at all.
+pub fn shrink(case: &QaCase) -> Option<Shrunk> {
+    let mut ctx = Ctx { steps: 0 };
+    let mut div = ctx.diverges(case)?;
+    let mut cur = case.clone();
+    loop {
+        let mut progress = false;
+        progress |= shrink_txns(&mut cur, &mut div, &mut ctx);
+        progress |= shrink_ops(&mut cur, &mut div, &mut ctx);
+        progress |= shrink_rows(&mut cur, &mut div, &mut ctx);
+        progress |= shrink_config(&mut cur, &mut div, &mut ctx);
+        if !progress || ctx.steps >= MAX_STEPS {
+            break;
+        }
+    }
+    Some(Shrunk { case: cur, divergence: div, steps: ctx.steps })
+}
+
+/// Classic ddmin over the transaction schedule.
+fn shrink_txns(cur: &mut QaCase, div: &mut Divergence, ctx: &mut Ctx) -> bool {
+    let mut progress = false;
+    let mut chunk = (cur.txns.len() / 2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.txns.len() && cur.txns.len() > 1 {
+            let mut cand = cur.clone();
+            let end = (i + chunk).min(cand.txns.len());
+            cand.txns.drain(i..end);
+            if let Some(d) = ctx.diverges(&cand) {
+                *cur = cand;
+                *div = d;
+                progress = true;
+                // Same index now holds the next chunk.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    progress
+}
+
+/// A transaction with op `oi` removed, if the result is still well-formed.
+fn without_op(txn: &Txn, oi: usize) -> Option<Txn> {
+    if txn.ops.len() <= 1 {
+        return None;
+    }
+    let mut ops = txn.ops.clone();
+    ops.remove(oi);
+    let cand = Txn::new(txn.proc, txn.params.clone(), ops);
+    cand.validate().ok().map(|()| cand)
+}
+
+fn shrink_ops(cur: &mut QaCase, div: &mut Divergence, ctx: &mut Ctx) -> bool {
+    let mut progress = false;
+    let mut ti = 0;
+    while ti < cur.txns.len() {
+        let mut oi = 0;
+        while oi < cur.txns[ti].ops.len() {
+            let Some(cand_txn) = without_op(&cur.txns[ti], oi) else {
+                oi += 1;
+                continue;
+            };
+            let mut cand = cur.clone();
+            cand.txns[ti] = cand_txn;
+            if let Some(d) = ctx.diverges(&cand) {
+                *cur = cand;
+                *div = d;
+                progress = true;
+            } else {
+                oi += 1;
+            }
+        }
+        ti += 1;
+    }
+    progress
+}
+
+fn shrink_rows(cur: &mut QaCase, div: &mut Divergence, ctx: &mut Ctx) -> bool {
+    let mut progress = false;
+    for t in 0..cur.tables.len() {
+        let mut ri = 0;
+        while ri < cur.tables[t].rows.len() {
+            let mut cand = cur.clone();
+            cand.tables[t].rows.remove(ri);
+            if let Some(d) = ctx.diverges(&cand) {
+                *cur = cand;
+                *div = d;
+                progress = true;
+            } else {
+                ri += 1;
+            }
+        }
+    }
+    // Trailing tables can go wholesale (dropping interior tables would
+    // renumber `TableId`s referenced by the surviving ops) — but only ones
+    // no op references, or the candidate is malformed and its
+    // out-of-bounds panic would masquerade as the divergence under test.
+    while cur.tables.len() > 1 && !references_table(cur, cur.tables.len() - 1) {
+        let mut cand = cur.clone();
+        cand.tables.pop();
+        if let Some(d) = ctx.diverges(&cand) {
+            *cur = cand;
+            *div = d;
+            progress = true;
+        } else {
+            break;
+        }
+    }
+    progress
+}
+
+/// Does any op of any transaction touch table `ti`?
+fn references_table(case: &QaCase, ti: usize) -> bool {
+    let id = ltpg_storage::TableId(ti as u16);
+    case.txns.iter().any(|txn| {
+        txn.ops.iter().any(|op| match op {
+            IrOp::Read { table, .. }
+            | IrOp::Update { table, .. }
+            | IrOp::Add { table, .. }
+            | IrOp::Insert { table, .. }
+            | IrOp::Delete { table, .. }
+            | IrOp::ScanSum { table, .. }
+            | IrOp::RangeSum { table, .. }
+            | IrOp::RangeMinKey { table, .. }
+            | IrOp::RangeCountBelow { table, .. } => *table == id,
+            IrOp::Compute { .. } => false,
+        })
+    })
+}
+
+fn shrink_config(cur: &mut QaCase, div: &mut Divergence, ctx: &mut Ctx) -> bool {
+    let mut progress = false;
+    let candidates: Vec<fn(&mut QaCase)> = vec![
+        |c| c.fail_shard = None,
+        |c| c.shards = 1,
+        |c| c.pipelined = false,
+        |c| c.checkpoint_every = None,
+        |c| c.commutative_t0c0 = false,
+        |c| c.batch_size = c.txns.len().max(1),
+    ];
+    for f in candidates {
+        let mut cand = cur.clone();
+        f(&mut cand);
+        if cand == *cur {
+            continue;
+        }
+        if let Some(d) = ctx.diverges(&cand) {
+            *cur = cand;
+            *div = d;
+            progress = true;
+        }
+    }
+    progress
+}

@@ -1,0 +1,53 @@
+//! End-to-end proof that the harness catches real engine bugs: arm the
+//! engine's deliberate WAW blind spot (`qa-inject` feature), fuzz until the
+//! differential runner flags a divergence, shrink it, and check the
+//! minimized repro is small, persists through the repro format, and
+//! cleanly separates "buggy engine" from "bad case" (it diverges armed,
+//! runs clean disarmed).
+//!
+//! This file is one test on purpose: the injection flag is process-global,
+//! and a sibling test running concurrently would observe it armed.
+
+#![cfg(feature = "qa-inject")]
+
+#[test]
+fn injected_waw_blind_spot_is_caught_shrunk_and_reproducible() {
+    ltpg::qa_inject::set_waw_blind_spot(true);
+    let mut found = None;
+    for seed in 0..200u64 {
+        let case = ltpg_qa::gen::generate(seed);
+        if ltpg_qa::run_case(&case).is_err() {
+            found = Some((seed, case));
+            break;
+        }
+    }
+    let (seed, case) =
+        found.expect("WAW blind spot went undetected across 200 generated cases");
+
+    let shrunk = ltpg_qa::shrink(&case).expect("divergent case must shrink");
+    assert!(
+        shrunk.case.txns.len() <= 8,
+        "seed {seed}: minimized repro has {} transactions (want <= 8) after {} steps:\n{}",
+        shrunk.case.txns.len(),
+        shrunk.steps,
+        ltpg_qa::repro::to_text(&shrunk.case),
+    );
+
+    // The repro survives serialization and still reproduces the bug.
+    let dir = std::env::temp_dir().join(format!("ltpg-qa-inject-{}", std::process::id()));
+    let path = dir.join("waw-blind-spot.repro");
+    ltpg_qa::repro::write_file(&path, &shrunk.case).expect("write repro");
+    let reloaded = ltpg_qa::repro::load_file(&path).expect("parse repro back");
+    assert_eq!(reloaded, shrunk.case, "repro round-trip changed the case");
+    assert!(
+        ltpg_qa::run_case(&reloaded).is_err(),
+        "reloaded repro no longer diverges with the bug armed"
+    );
+
+    // Disarmed, the same case runs clean: the divergence is the engine's
+    // fault, not the case's.
+    ltpg::qa_inject::set_waw_blind_spot(false);
+    ltpg_qa::run_case(&reloaded)
+        .unwrap_or_else(|d| panic!("repro diverges even without the injected bug: {d}"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -134,6 +134,19 @@ pub const FAULT_COUNTERS: [&str; 5] = [
     FAULT_FALLBACK_ACTIVATIONS,
 ];
 
+// --- differential QA harness (`ltpg-qa`) ------------------------------------
+
+/// Counter: fuzz cases generated and executed.
+pub const QA_CASES: &str = "qa.cases";
+/// Counter: transactions generated across all fuzz cases.
+pub const QA_TXNS: &str = "qa.txns";
+/// Counter: cases whose execution paths diverged (before shrinking).
+pub const QA_DIVERGENCES: &str = "qa.divergences";
+/// Counter: shrink candidates evaluated while minimizing divergent cases.
+pub const QA_SHRINK_STEPS: &str = "qa.shrink.steps";
+/// Counter: minimized repro files written.
+pub const QA_REPROS_WRITTEN: &str = "qa.repros_written";
+
 // --- sharded multi-device execution -----------------------------------------
 
 /// Counter: sharded-server ticks that executed a batch.

@@ -23,6 +23,13 @@ pub struct Zipf {
     alpha: f64,
     /// Devroye constant `b = 2^(alpha-1)` (alpha > 1 path).
     b: f64,
+    /// Smallest proposal `u` that still maps into `[1, n]` (alpha > 1
+    /// path): `u >= (n+1)^-(alpha-1)` ⇔ `floor(u^(-1/(alpha-1))) <= n`.
+    /// Drawing `u` from `[u_min, 1)` conditions Devroye's envelope on the
+    /// truncation event up front, instead of rejecting out-of-domain
+    /// proposals — which for `alpha` just above 1 with small `n` rejected
+    /// almost every draw (an unbounded hot loop).
+    u_min: f64,
     /// Gray-method state (alpha ≤ 1 path).
     gray: Option<Gray>,
 }
@@ -56,7 +63,14 @@ impl Zipf {
         } else {
             None
         };
-        Zipf { n, alpha, b: 2f64.powf(alpha - 1.0), gray }
+        let u_min = if alpha > 1.0 {
+            // Clamp away from 1.0 so the proposal interval never collapses
+            // (for huge n the value underflows toward 0, which is fine).
+            ((n + 1) as f64).powf(-(alpha - 1.0)).min(1.0 - f64::EPSILON)
+        } else {
+            0.0
+        };
+        Zipf { n, alpha, b: 2f64.powf(alpha - 1.0), u_min, gray }
     }
 
     /// Domain size.
@@ -74,18 +88,41 @@ impl Zipf {
 
     fn sample_devroye<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         let s = self.alpha;
-        loop {
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let lo = self.u_min.max(f64::EPSILON);
+        // The envelope is pre-truncated via `u_min`, so the only remaining
+        // rejection is Devroye's bounded acceptance test; a handful of
+        // iterations suffices with overwhelming probability. The hard cap
+        // is a determinism guarantee for adversarial exponents: on
+        // exhaustion, fall back to exact inversion of the truncated CDF.
+        for _ in 0..64 {
+            let u: f64 = rng.gen_range(lo..1.0);
             let v: f64 = rng.gen();
             let x = u.powf(-1.0 / (s - 1.0)).floor();
             if x < 1.0 || x > self.n as f64 {
-                continue; // truncate to [1, n]
+                continue; // floating-point edge of the truncation bound
             }
             let t = (1.0 + 1.0 / x).powf(s - 1.0);
             if v * x * (t - 1.0) / (self.b - 1.0) <= t / self.b {
                 return x as u64;
             }
         }
+        self.sample_inverse_cdf(rng)
+    }
+
+    /// Exact inversion of the truncated Zipf CDF by linear scan — O(n) but
+    /// only reachable through the `sample_devroye` iteration cap, i.e.
+    /// (practically) never.
+    fn sample_inverse_cdf<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let zetan = zeta(self.n, self.alpha);
+        let target: f64 = rng.gen_range(0.0..zetan);
+        let mut acc = 0.0;
+        for k in 1..=self.n {
+            acc += 1.0 / (k as f64).powf(self.alpha);
+            if target < acc {
+                return k;
+            }
+        }
+        self.n
     }
 
     fn sample_gray<R: Rng + ?Sized>(&self, g: &Gray, rng: &mut R) -> u64 {
@@ -202,6 +239,73 @@ mod tests {
         // ... and it should not be key 1 (scrambling moved it).
         let hottest = counts.iter().max_by_key(|(_, c)| **c).unwrap().0;
         assert_ne!(*hottest, 1);
+    }
+
+    /// Counts 64-bit draws so tests can bound sampler work per sample.
+    struct CountingRng {
+        inner: StdRng,
+        draws: u64,
+    }
+
+    impl rand::RngCore for CountingRng {
+        fn next_u64(&mut self) -> u64 {
+            self.draws += 1;
+            self.inner.next_u64()
+        }
+    }
+
+    #[test]
+    fn alpha_just_above_one_small_n_is_statistically_correct() {
+        // The regression regime: alpha in (1, 1+eps] with small n used to
+        // reject ~97% of Devroye proposals at the truncation step. The
+        // conditioned envelope must still produce the exact truncated
+        // Zipf law.
+        let (n, alpha, draws) = (16u64, 1.01f64, 200_000usize);
+        let z = Zipf::new(n, alpha);
+        let mut rng = StdRng::seed_from_u64(0x51ef);
+        let mut counts = vec![0usize; n as usize + 1];
+        for _ in 0..draws {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let zetan = zeta(n, alpha);
+        for (k, &count) in counts.iter().enumerate().skip(1) {
+            let expect = 1.0 / (k as f64).powf(alpha) / zetan;
+            let got = count as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "rank {k}: got {got:.4}, want {expect:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_just_above_one_small_n_is_iteration_bounded() {
+        // Each Devroye iteration costs two 64-bit draws; the conditioned
+        // envelope accepts within a few iterations, so 10 000 samples must
+        // stay well under 16 draws per sample. The pre-fix sampler burned
+        // ~75 draws per sample here and diverged further as alpha -> 1+.
+        let z = Zipf::new(16, 1.01);
+        let mut rng = CountingRng { inner: StdRng::seed_from_u64(3), draws: 0 };
+        let samples = 10_000u64;
+        for _ in 0..samples {
+            let s = z.sample(&mut rng);
+            assert!((1..=16).contains(&s));
+        }
+        assert!(
+            rng.draws <= samples * 16,
+            "sampler too hot: {} draws for {samples} samples",
+            rng.draws
+        );
+    }
+
+    #[test]
+    fn exact_inverse_cdf_fallback_matches_domain() {
+        let z = Zipf::new(16, 1.01);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..2_000 {
+            let s = z.sample_inverse_cdf(&mut rng);
+            assert!((1..=16).contains(&s));
+        }
     }
 
     #[test]
