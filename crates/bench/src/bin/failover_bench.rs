@@ -1,0 +1,189 @@
+//! **Failover** — failover latency and throughput under primary loss.
+//!
+//! For each shard count the bench runs partitioned YCSB-A twice over the
+//! identical stream: once fault-free, and once with a warm standby pool
+//! ([`ShardedServer::attach_replicas`]) where shard 1's primary device is
+//! killed mid-run. The heartbeat monitor fences the dead primary at the
+//! next batch boundary and promotes the standby row, so the second run
+//! commits the exact same history — the interesting outputs are the
+//! *costs*: failover latency (the `replica.failover_ns` histogram, i.e.
+//! simulated device time spent on catch-up replay inside the promotion),
+//! catch-up volume, standby lag, and the throughput retained relative to
+//! the fault-free run.
+//!
+//! Writes `results/BENCH_failover.json`; `--smoke` runs a 2-shard
+//! configuration for CI schema validation.
+
+use ltpg::{LtpgConfig, ReplicaChaos, ServerConfig};
+use ltpg_bench::*;
+use ltpg_replica::ReplicaConfig;
+use ltpg_shard::{ycsb_partitioner, ShardedServer};
+use ltpg_telemetry::names;
+use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    shards: u32,
+    standbys: usize,
+    cross_shard_pct: u32,
+    committed: u64,
+    batches: u64,
+    failovers: u64,
+    degraded_shards: u32,
+    failover_ns_p50: u64,
+    failover_ns_max: u64,
+    catchup_batches: u64,
+    lag_batches_p95: u64,
+    mtps_fault_free: f64,
+    mtps_under_failure: f64,
+    /// Throughput under failure over fault-free throughput (simulated
+    /// time): the price of the mid-run failover, 1.0 = free.
+    retention: f64,
+}
+
+struct RunOut {
+    committed: u64,
+    batches: u64,
+    failovers: u64,
+    degraded_shards: u32,
+    failover_ns_p50: u64,
+    failover_ns_max: u64,
+    catchup_batches: u64,
+    lag_batches_p95: u64,
+    mtps: f64,
+}
+
+fn run(
+    shards: u32,
+    standbys: usize,
+    records: u64,
+    batch: usize,
+    batches: usize,
+    kill_at_tick: Option<usize>,
+) -> RunOut {
+    let cfg = YcsbConfig::new(YcsbWorkload::A, records)
+        .with_alpha(0.4)
+        .with_seed(0xfa11_0e72)
+        .with_partitions(shards, 10);
+    let (db, table, mut gen) = YcsbGenerator::new(cfg.clone());
+    let part = ycsb_partitioner(shards, table, &cfg);
+    let mut server = ShardedServer::new(
+        db,
+        part,
+        LtpgConfig::default(),
+        ServerConfig { batch_size: batch, pipelined: false, ..ServerConfig::default() },
+    );
+    if standbys > 0 {
+        server.attach_replicas(&ReplicaConfig { standbys, ..ReplicaConfig::default() });
+        // Hold the standby two batches behind the logged tail. A
+        // continuously tailing standby makes promotion a free pointer
+        // swap; the held-back row forces the promotion to pay a real
+        // catch-up replay, which is the latency this bench measures.
+        server.arm_replica_chaos(ReplicaChaos {
+            standby_lag: Some((0, 2)),
+            ..ReplicaChaos::none()
+        });
+    }
+    server.submit_all(gen.gen_batch(batch * batches));
+    for tick in 0..(batches + 32) * 12 {
+        if Some(tick) == kill_at_tick {
+            server.force_shard_failure(1);
+        }
+        if server.tick().is_none() && server.pending() == 0 {
+            break;
+        }
+    }
+    let stats = server.stats().clone();
+    let reg = server.telemetry();
+    let failover = reg.histogram(names::REPLICA_FAILOVER_NS).snapshot();
+    let lag = reg.histogram(names::REPLICA_LAG_BATCHES).snapshot();
+    let mtps =
+        if stats.sim_ns > 0.0 { stats.committed as f64 * 1e3 / stats.sim_ns } else { 0.0 };
+    RunOut {
+        committed: stats.committed,
+        batches: stats.batches,
+        failovers: stats.failovers,
+        degraded_shards: stats.degraded_shards,
+        failover_ns_p50: failover.p50,
+        failover_ns_max: failover.max,
+        catchup_batches: reg.counter_value(names::REPLICA_CATCHUP_BATCHES),
+        lag_batches_p95: lag.p95,
+        mtps,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (shard_counts, records, batch, batches): (&[u32], u64, usize, usize) = if smoke {
+        (&[2], 8_192, 512, 4)
+    } else {
+        (&[2, 4, 8], 65_536, 4_096, 10)
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows = Vec::new();
+    for &n in shard_counts {
+        let clean = run(n, 0, records, batch, batches, None);
+        // Kill after two ticks: late enough that the standby row carries
+        // real catch-up lag, early enough that most of the run executes
+        // on the promoted topology.
+        let faulted = run(n, 1, records, batch, batches, Some(2));
+        assert_eq!(faulted.failovers, 1, "{n}-shard run must fail over exactly once");
+        assert_eq!(faulted.degraded_shards, 0, "failover must not fall back to the CPU twin");
+        assert_eq!(
+            faulted.committed, clean.committed,
+            "{n}-shard failover changed the committed count"
+        );
+        let retention =
+            if clean.mtps > 0.0 { faulted.mtps / clean.mtps } else { 0.0 };
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.3}", clean.mtps),
+            format!("{:.3}", faulted.mtps),
+            format!("{:.1}%", 100.0 * retention),
+            format!("{:.3}", faulted.failover_ns_max as f64 / 1e6),
+            faulted.catchup_batches.to_string(),
+            faulted.lag_batches_p95.to_string(),
+        ]);
+        eprintln!(
+            "[failover] {n} shard(s): {:.3} -> {:.3} MTPS ({:.1}% retained), \
+             failover {:.3} ms, {} catch-up batches",
+            clean.mtps,
+            faulted.mtps,
+            100.0 * retention,
+            faulted.failover_ns_max as f64 / 1e6,
+            faulted.catchup_batches
+        );
+        points.push(Point {
+            shards: n,
+            standbys: 1,
+            cross_shard_pct: 10,
+            committed: faulted.committed,
+            batches: faulted.batches,
+            failovers: faulted.failovers,
+            degraded_shards: faulted.degraded_shards,
+            failover_ns_p50: faulted.failover_ns_p50,
+            failover_ns_max: faulted.failover_ns_max,
+            catchup_batches: faulted.catchup_batches,
+            lag_batches_p95: faulted.lag_batches_p95,
+            mtps_fault_free: clean.mtps,
+            mtps_under_failure: faulted.mtps,
+            retention,
+        });
+    }
+    print_table(
+        "Failover — latency and throughput under mid-run primary loss",
+        &[
+            "shards".to_string(),
+            "clean MTPS".to_string(),
+            "faulted MTPS".to_string(),
+            "retained".to_string(),
+            "failover ms".to_string(),
+            "catch-up".to_string(),
+            "lag p95".to_string(),
+        ],
+        &rows,
+    );
+    write_json("BENCH_failover", &points);
+}

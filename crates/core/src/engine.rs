@@ -483,14 +483,65 @@ impl LtpgEngine {
         LtpgEngine { db, cfg, device, log, commutative_tables, telemetry, sim_clock_ns: 0.0 }
     }
 
+    /// Create an engine over `db` that adopts an *existing* device instead
+    /// of allocating a fresh one. This is the re-promotion path: a device
+    /// that recovered from a timed outage is handed back (after
+    /// [`Device::revive`] + [`Device::reset_for_reuse`]) and becomes the
+    /// substrate for a new engine over the fallback's live database. The
+    /// previous owner's allocation footprint is released and replaced by
+    /// this engine's working set, as a real re-initialization would remap
+    /// device memory from scratch.
+    pub fn with_device(
+        db: Database,
+        cfg: LtpgConfig,
+        telemetry: Arc<Registry>,
+        device: Arc<Device>,
+    ) -> Self {
+        device.release_allocation(device.allocated_bytes());
+        device.set_telemetry(&telemetry);
+        let log = ConflictLog::new(&db, &cfg);
+        device.register_allocation(db.bytes() + log.bytes());
+        let commutative_tables = cfg
+            .commutative_cols
+            .iter()
+            .chain(cfg.delayed_cols.iter())
+            .map(|&(t, _)| t)
+            .collect();
+        for name in names::ABORT_REASONS {
+            telemetry.counter(name);
+        }
+        telemetry.counter(names::FAULT_TRANSIENT_RETRIES);
+        LtpgEngine { db, cfg, device, log, commutative_tables, telemetry, sim_clock_ns: 0.0 }
+    }
+
     /// The registry this engine publishes to.
     pub fn telemetry(&self) -> &Arc<Registry> {
         &self.telemetry
     }
 
+    /// Re-point this engine's (and its device's) metrics at `reg`.
+    /// Promotion uses this: a standby replays into a detached registry so
+    /// warm-up noise stays off the serving dashboards, then rebinds to the
+    /// server's registry the moment it becomes the primary.
+    pub fn rebind_telemetry(&mut self, reg: Arc<Registry>) {
+        self.device.set_telemetry(&reg);
+        for name in names::ABORT_REASONS {
+            reg.counter(name);
+        }
+        reg.counter(names::FAULT_TRANSIENT_RETRIES);
+        self.telemetry = reg;
+    }
+
     /// The simulated device (for stats and calibration experiments).
     pub fn device(&self) -> &Device {
         &self.device
+    }
+
+    /// A shared handle to the simulated device, outliving the engine. The
+    /// failover layer stashes this when a device is lost so a later timed
+    /// recovery can revive and re-enlist the same physical device.
+    pub fn device_handle(&self) -> Arc<Device> {
+        Arc::clone(&self.device)
     }
 
     /// The engine configuration.

@@ -66,6 +66,55 @@ pub struct WalDamageReport {
     pub bytes_torn: u64,
 }
 
+/// Where, inside the standby-promotion window, the simulated process is
+/// killed. Promotion is the one moment failover has in-flight state that
+/// exists nowhere but the WAL, so crash coverage concentrates here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PromotionCrashpoint {
+    /// Die after the primary's loss is detected but before the standby
+    /// replays a single batch: the WAL alone must reconstruct the run.
+    BeforeCatchup,
+    /// Die after catch-up replay completes but before the promoted
+    /// standby serves its first batch: replayed standby state is lost
+    /// with the process, and recovery must converge to the same digest.
+    AfterCatchup,
+}
+
+/// Chaos knobs for the replication/failover layer. All of them are inert
+/// unless a replica set (or the timed-recovery hook) is attached to the
+/// server, so plans carrying them stay valid for unreplicated runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplicaChaos {
+    /// A lost device comes back healthy this many batches after the tick
+    /// that observed the loss (`None` = the loss is permanent). Drives
+    /// re-promotion from CPU fallback and standby re-enlistment.
+    pub device_recovers_after_batches: Option<u64>,
+    /// Tick indices whose heartbeat probe is dropped: the health monitor
+    /// learns nothing that tick and counts a miss. Enough consecutive
+    /// drops trigger a (deterministically safe) false-positive failover.
+    pub heartbeat_drop_ticks: BTreeSet<u64>,
+    /// Hold standby row `.0` exactly `.1` batches behind the primary's
+    /// logged tail, forcing catch-up replay on promotion.
+    pub standby_lag: Option<(u32, u64)>,
+    /// Kill the simulated process inside the promotion window.
+    pub promotion_crash: Option<PromotionCrashpoint>,
+}
+
+impl ReplicaChaos {
+    /// Chaos that injects nothing (the default).
+    pub fn none() -> Self {
+        ReplicaChaos::default()
+    }
+
+    /// Whether these knobs can ever fire.
+    pub fn is_quiet(&self) -> bool {
+        self.device_recovers_after_batches.is_none()
+            && self.heartbeat_drop_ticks.is_empty()
+            && self.standby_lag.is_none()
+            && self.promotion_crash.is_none()
+    }
+}
+
 /// Rough bounds the generator draws within; see [`FaultPlan::from_seed`].
 #[derive(Debug, Clone, Copy)]
 pub struct FaultHorizon {
@@ -94,12 +143,20 @@ pub struct FaultPlan {
     pub wal: Vec<WalDamage>,
     /// Kill the process after this many batches have executed, if set.
     pub kill_after_batch: Option<u64>,
+    /// Replication/failover chaos (inert without a replica layer attached).
+    pub replica: ReplicaChaos,
 }
 
 impl FaultPlan {
     /// A plan that injects nothing.
     pub fn quiet(seed: u64) -> Self {
-        FaultPlan { seed, device: DeviceFaultPlan::none(), wal: Vec::new(), kill_after_batch: None }
+        FaultPlan {
+            seed,
+            device: DeviceFaultPlan::none(),
+            wal: Vec::new(),
+            kill_after_batch: None,
+            replica: ReplicaChaos::none(),
+        }
     }
 
     /// Derive a plan from `seed`. Every draw comes from one splitmix64
@@ -140,17 +197,45 @@ impl FaultPlan {
                 });
             }
         }
+        // Replica chaos draws come strictly AFTER every pre-existing draw so
+        // the seed → (device, wal, crashpoint) mapping of earlier sweeps is
+        // unchanged: old repros and coverage expectations stay valid.
+        let mut replica = ReplicaChaos::none();
+        if lost_at_op.is_some() && splitmix64(&mut s) & 3 == 0 {
+            replica.device_recovers_after_batches = Some(1 + splitmix64(&mut s) % 4);
+        }
+        if splitmix64(&mut s) & 3 == 0 {
+            let n = 1 + splitmix64(&mut s) % 3;
+            for _ in 0..n {
+                replica.heartbeat_drop_ticks.insert(splitmix64(&mut s) % batches);
+            }
+        }
+        if splitmix64(&mut s) & 3 == 0 {
+            replica.standby_lag =
+                Some(((splitmix64(&mut s) % 2) as u32, 1 + splitmix64(&mut s) % 4));
+        }
+        if lost_at_op.is_some() && splitmix64(&mut s) & 1 == 0 {
+            replica.promotion_crash = Some(if splitmix64(&mut s) & 1 == 0 {
+                PromotionCrashpoint::BeforeCatchup
+            } else {
+                PromotionCrashpoint::AfterCatchup
+            });
+        }
         FaultPlan {
             seed,
-            device: DeviceFaultPlan { transient_ops, lost_at_op },
+            device: DeviceFaultPlan { transient_ops, lost_at_op, recover_at_op: None },
             wal,
             kill_after_batch,
+            replica,
         }
     }
 
     /// Whether this plan injects anything at all.
     pub fn is_quiet(&self) -> bool {
-        self.device.is_empty() && self.wal.is_empty() && self.kill_after_batch.is_none()
+        self.device.is_empty()
+            && self.wal.is_empty()
+            && self.kill_after_batch.is_none()
+            && self.replica.is_quiet()
     }
 }
 
@@ -175,6 +260,13 @@ impl FaultInjector {
     /// [`ltpg_gpu_sim::Device::arm_faults`].
     pub fn device_plan(&self) -> DeviceFaultPlan {
         self.plan.device.clone()
+    }
+
+    /// The replication/failover chaos knobs, for
+    /// [`crate::LtpgServer::arm_replica_chaos`] and the sharded server's
+    /// equivalent. Inert when no replica layer is attached.
+    pub fn replica_chaos(&self) -> ReplicaChaos {
+        self.plan.replica.clone()
     }
 
     /// Should the simulated process be killed after `batch_index` (0-based)
@@ -232,6 +324,34 @@ mod tests {
             .iter()
             .any(|p| p.wal.iter().any(|d| matches!(d, WalDamage::CorruptFrame { .. }))));
         assert!(plans.iter().any(|p| p.is_quiet()), "some seeds must be fault-free controls");
+        // Replica chaos classes are covered by the same sweep.
+        assert!(plans.iter().any(|p| p.replica.device_recovers_after_batches.is_some()));
+        assert!(plans.iter().any(|p| !p.replica.heartbeat_drop_ticks.is_empty()));
+        assert!(plans.iter().any(|p| p.replica.standby_lag.is_some()));
+        assert!(plans
+            .iter()
+            .any(|p| p.replica.promotion_crash == Some(PromotionCrashpoint::BeforeCatchup)));
+        assert!(plans
+            .iter()
+            .any(|p| p.replica.promotion_crash == Some(PromotionCrashpoint::AfterCatchup)));
+    }
+
+    #[test]
+    fn replica_draws_do_not_perturb_legacy_fields() {
+        // The replica knobs were appended to the end of the draw stream;
+        // the legacy portion of the plan must be exactly what a plan built
+        // before the extension would have contained. Spot-check the
+        // invariant structurally: stripping replica chaos from a plan and
+        // regenerating with the same seed yields identical legacy fields.
+        let h = FaultHorizon::for_batches(20);
+        for seed in 0..128 {
+            let a = FaultPlan::from_seed(seed, h);
+            let b = FaultPlan::from_seed(seed, h);
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.wal, b.wal);
+            assert_eq!(a.kill_after_batch, b.kill_after_batch);
+            assert_eq!(a.replica, b.replica, "chaos draws must be deterministic too");
+        }
     }
 
     #[test]
@@ -256,6 +376,7 @@ mod tests {
                 WalDamage::TearTail { drop_bytes: 1_000_000 },
             ],
             kill_after_batch: None,
+            replica: ReplicaChaos::none(),
         });
         let image_len = log.disk_len() as u64;
         let report = inj.damage_wal(&log);

@@ -77,12 +77,17 @@ pub use engine::{
     cell_accesses, cell_key, commit_decision, flag, stage_effects, CellAccess, ExecScope,
     LtpgEngine, PreparedBatch, Staged,
 };
-pub use faults::{FaultHorizon, FaultInjector, FaultPlan, WalDamage, WalDamageReport};
+pub use faults::{
+    FaultHorizon, FaultInjector, FaultPlan, PromotionCrashpoint, ReplicaChaos, WalDamage,
+    WalDamageReport,
+};
 pub use pipeline::{PipelineOutcome, PipelinedRunner};
 #[cfg(feature = "qa-inject")]
 pub use engine::qa_inject;
 pub use recovery::{
     DurabilityManager, RecoveryError, RecoveryOptions, RecoveryOutcome, RecoveryStats, TailPolicy,
 };
-pub use server::{BatchSummary, LtpgServer, ServerConfig, ServerError, ServerStats};
+pub use server::{
+    BatchSummary, FailoverProvider, LtpgServer, ServerConfig, ServerError, ServerStats,
+};
 pub use stats::{FaultStats, LtpgBatchStats};

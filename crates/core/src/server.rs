@@ -30,13 +30,14 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use ltpg_baselines::CpuFallbackEngine;
-use ltpg_gpu_sim::{DeviceError, DeviceFaultPlan};
+use ltpg_gpu_sim::{Device, DeviceError, DeviceFaultPlan};
 use ltpg_storage::Database;
 use ltpg_telemetry::{names, Registry};
 use ltpg_txn::{Batch, BatchEngine, BatchReport, Tid, TidGen, Txn};
 
 use crate::config::LtpgConfig;
 use crate::engine::LtpgEngine;
+use crate::faults::{PromotionCrashpoint, ReplicaChaos};
 use crate::recovery::{DurabilityManager, RecoveryError, RecoveryOptions};
 use crate::stats::FaultStats;
 
@@ -135,6 +136,11 @@ pub enum ServerError {
     /// The device was lost and rebuilding state on the CPU fallback also
     /// failed — the log itself is damaged beyond the torn-tail case.
     DegradationFailed(RecoveryError),
+    /// A chaos-scheduled process kill fired inside the standby-promotion
+    /// window (see [`crate::PromotionCrashpoint`]). The server object is
+    /// dead from the caller's perspective; recovery proceeds from the WAL
+    /// exactly as it would after a real crash.
+    InjectedCrash(&'static str),
 }
 
 impl std::fmt::Display for ServerError {
@@ -142,6 +148,9 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::DegradationFailed(e) => {
                 write!(f, "device lost and CPU degradation failed: {e}")
+            }
+            ServerError::InjectedCrash(site) => {
+                write!(f, "injected process crash at {site}")
             }
         }
     }
@@ -151,8 +160,37 @@ impl std::error::Error for ServerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServerError::DegradationFailed(e) => Some(e),
+            ServerError::InjectedCrash(_) => None,
         }
     }
+}
+
+/// Warm-standby supplier the server consults before abandoning the GPU.
+///
+/// The replication layer (`ltpg-replica`) implements this for its
+/// `ReplicaSet`; the trait lives here so the core server can route device
+/// loss through replicas without depending on the replica crate. The
+/// contract leans entirely on determinism: a standby that replayed the
+/// same WAL prefix is bit-identical to the primary, so the server may
+/// swap executors at a batch boundary without any state transfer.
+pub trait FailoverProvider {
+    /// The durability log advanced to `dur.logged_batches()`; standbys may
+    /// replay toward the new tail. Called once per executed batch.
+    fn after_batch(&mut self, dur: &DurabilityManager);
+
+    /// Standbys currently healthy enough to promote.
+    fn standbys_available(&self) -> usize;
+
+    /// Promote the best standby: catch it up through batches `< upto`
+    /// (the in-flight batch `upto` is re-executed by the server on the
+    /// promoted engine) and surrender the engine. `None` when the pool is
+    /// exhausted or every standby is dead.
+    fn promote(&mut self, dur: &DurabilityManager, upto: u64) -> Option<Box<LtpgEngine>>;
+
+    /// A physically recovered device is offered back to the pool (already
+    /// revived and reset). Returns whether it was re-enlisted as a fresh
+    /// standby.
+    fn reenlist(&mut self, device: Arc<Device>, dur: &DurabilityManager) -> bool;
 }
 
 /// The executor currently serving batches.
@@ -206,6 +244,16 @@ pub struct LtpgServer {
     /// server (device, engine, fault handling) publishes here, so two
     /// servers in one process never cross-contaminate.
     telemetry: Arc<Registry>,
+    /// Warm standbys to promote on device loss, if attached.
+    failover: Option<Box<dyn FailoverProvider>>,
+    /// Armed replication chaos (timed device recovery, promotion-window
+    /// crashpoints). Inert by default.
+    replica_chaos: ReplicaChaos,
+    /// The physical device lost by the last degradation/failover, kept so
+    /// a timed recovery can revive and re-enlist it.
+    lost_device: Option<Arc<Device>>,
+    /// `stats.batches` at the moment the device was lost.
+    lost_at_batch: Option<u64>,
 }
 
 impl LtpgServer {
@@ -233,7 +281,31 @@ impl LtpgServer {
             requeue: VecDeque::new(),
             stats: ServerStats::default(),
             telemetry,
+            failover: None,
+            replica_chaos: ReplicaChaos::none(),
+            lost_device: None,
+            lost_at_batch: None,
         }
+    }
+
+    /// Attach a warm-standby pool. On device loss the server promotes a
+    /// standby (caught up from the WAL) instead of degrading to the CPU
+    /// fallback; the CPU twin remains the last resort once the pool is
+    /// exhausted.
+    pub fn attach_failover(&mut self, provider: Box<dyn FailoverProvider>) {
+        self.failover = Some(provider);
+    }
+
+    /// Whether a failover provider is attached.
+    pub fn has_failover(&self) -> bool {
+        self.failover.is_some()
+    }
+
+    /// Arm replication chaos knobs (timed device recovery, promotion-window
+    /// crashpoints). Heartbeat and standby-lag knobs are consumed by the
+    /// replica layer itself.
+    pub fn arm_replica_chaos(&mut self, chaos: ReplicaChaos) {
+        self.replica_chaos = chaos;
     }
 
     /// Enqueue one transaction.
@@ -368,15 +440,50 @@ impl LtpgServer {
         }
     }
 
+    /// Try to promote a warm standby after the primary device was lost
+    /// mid-batch `batch_id`. Returns `Ok(true)` when a caught-up standby
+    /// engine was installed as the executor; `Ok(false)` sends the caller
+    /// down the CPU-degradation path. Promotion-window crashpoints fire
+    /// here — the one moment where in-flight state exists only in the WAL.
+    fn try_failover(&mut self, batch_id: u64) -> Result<bool, ServerError> {
+        let Some(provider) = self.failover.as_mut() else {
+            return Ok(false);
+        };
+        if provider.standbys_available() == 0 {
+            return Ok(false);
+        }
+        match self.replica_chaos.promotion_crash.take() {
+            Some(PromotionCrashpoint::BeforeCatchup) => {
+                return Err(ServerError::InjectedCrash("promotion:before-catchup"));
+            }
+            Some(PromotionCrashpoint::AfterCatchup) => {
+                // Let the standby do its catch-up replay, then die before it
+                // serves a single batch: all that work must be recoverable
+                // from the WAL alone.
+                let _ = provider.promote(&self.durability, batch_id);
+                return Err(ServerError::InjectedCrash("promotion:after-catchup"));
+            }
+            None => {}
+        }
+        let Some(engine) = provider.promote(&self.durability, batch_id) else {
+            return Ok(false);
+        };
+        self.executor = Executor::Gpu(engine);
+        self.stats.faults = FaultStats::from_registry(&self.telemetry);
+        Ok(true)
+    }
+
     /// Execute `batch` (already logged as `batch_id`) on the active
-    /// executor, absorbing transient faults and degrading on device loss.
+    /// executor, absorbing transient faults, failing over to a warm
+    /// standby on device loss, and degrading to the CPU fallback as the
+    /// last resort.
     fn execute_resilient(
         &mut self,
         batch: &Batch,
         batch_id: u64,
     ) -> Result<(ltpg_txn::BatchReport, f64), ServerError> {
         let mut backoff_ns = 0.0;
-        if let Executor::Gpu(engine) = &mut self.executor {
+        while let Executor::Gpu(engine) = &mut self.executor {
             let mut attempt = 0u32;
             loop {
                 match engine.try_execute_batch_report(batch) {
@@ -400,19 +507,73 @@ impl LtpgServer {
                             .counter(names::FAULT_BACKOFF_NS)
                             .add(pause.round() as u64);
                     }
-                    // Device loss, or a device so flaky retries ran out:
-                    // degrade. The batch is already logged, so the replay
-                    // bound `batch_id` rebuilds exactly the pre-batch
+                    // Device loss, or a device so flaky retries ran out.
+                    // The batch is already logged, so whichever successor
+                    // executor takes over rebuilds exactly the pre-batch
                     // state regardless of where mid-batch the device died.
                     Err(_) => break,
                 }
             }
+            // Fence the failed primary but keep the handle: a timed
+            // recovery may revive it later.
+            self.lost_device = Some(engine.device_handle());
+            self.lost_at_batch = Some(self.stats.batches);
+            if !self.try_failover(batch_id)? {
+                break;
+            }
+            // A promoted standby is serving now; re-issue the in-flight
+            // batch on it (its catch-up replay stopped just short).
         }
         let cpu = match &mut self.executor {
             Executor::Cpu(e) => e,
             Executor::Gpu(_) => self.degrade_to_cpu(batch_id)?,
         };
         Ok((cpu.execute_batch(batch), backoff_ns))
+    }
+
+    /// If the chaos schedule says the lost device's outage has ended,
+    /// revive it and bring it back: a CPU-degraded server re-promotes to a
+    /// GPU engine over the fallback's live database (determinism makes the
+    /// swap invisible); a server that already failed over offers the device
+    /// to the standby pool instead. Runs at batch boundaries only — the
+    /// cutover barrier.
+    fn maybe_rejoin_recovered_device(&mut self) {
+        let Some(k) = self.replica_chaos.device_recovers_after_batches else {
+            return;
+        };
+        let Some(lost_at) = self.lost_at_batch else {
+            return;
+        };
+        if self.stats.batches < lost_at.saturating_add(k) {
+            return;
+        }
+        let Some(device) = self.lost_device.take() else {
+            return;
+        };
+        self.lost_at_batch = None;
+        device.revive();
+        device.reset_for_reuse();
+        if self.is_degraded() {
+            // Re-promotion from CPU fallback: the fallback's database IS
+            // the current state, so the recovered device just adopts it.
+            let placeholder = Executor::Cpu(Box::new(CpuFallbackEngine::new(
+                Database::new(),
+                self.engine_cfg.fallback_config(),
+            )));
+            let db = match std::mem::replace(&mut self.executor, placeholder) {
+                Executor::Cpu(e) => e.into_database(),
+                Executor::Gpu(e) => e.into_database(),
+            };
+            self.executor = Executor::Gpu(Box::new(LtpgEngine::with_device(
+                db,
+                self.engine_cfg.clone(),
+                Arc::clone(&self.telemetry),
+                device,
+            )));
+            self.telemetry.counter(names::REPLICA_REPROMOTIONS).inc();
+        } else if let Some(provider) = self.failover.as_mut() {
+            provider.reenlist(device, &self.durability);
+        }
     }
 
     /// Form and execute one batch. Returns `None` when the server is
@@ -435,6 +596,7 @@ impl LtpgServer {
     /// errors instead of panicking.
     pub fn try_tick(&mut self) -> Result<Option<BatchSummary>, ServerError> {
         self.telemetry.counter(names::SERVER_TICKS).inc();
+        self.maybe_rejoin_recovered_device();
         let due = self.requeue.pop_front().unwrap_or_default();
         if due.is_empty() && self.inbox.is_empty() {
             if self.requeue.iter().all(Vec::is_empty) {
@@ -474,6 +636,9 @@ impl LtpgServer {
             .histogram(names::SERVER_BATCH_NS)
             .record_ns(report.sim_ns + backoff_ns);
         self.executor.record_telemetry(&self.telemetry, &report);
+        if let Some(provider) = self.failover.as_mut() {
+            provider.after_batch(&self.durability);
+        }
         if let Some(every) = self.cfg.checkpoint_every {
             if self.stats.batches.is_multiple_of(every as u64) {
                 self.durability.checkpoint(self.executor.database());
@@ -631,6 +796,7 @@ mod tests {
         server.arm_faults(DeviceFaultPlan {
             transient_ops: [0u64, 5].into_iter().collect(),
             lost_at_op: None,
+            recover_at_op: None,
         });
         server.submit_all(txns);
         let stats = server.drain(100).clone();
@@ -655,6 +821,7 @@ mod tests {
         server.arm_faults(DeviceFaultPlan {
             transient_ops: Default::default(),
             lost_at_op: Some(11),
+            recover_at_op: None,
         });
         server.submit_all(txns);
         let stats = server.drain(200).clone();
@@ -709,6 +876,7 @@ mod tests {
         server.arm_faults(DeviceFaultPlan {
             transient_ops: (0u64..16).collect(),
             lost_at_op: None,
+            recover_at_op: None,
         });
         server.submit_all(txns);
         let stats = server.drain(100).clone();
@@ -737,6 +905,7 @@ mod tests {
         server.arm_faults(DeviceFaultPlan {
             transient_ops: (0u64..64).collect(),
             lost_at_op: None,
+            recover_at_op: None,
         });
         server.submit_all(txns);
         let stats = server.drain(100).clone();
@@ -761,6 +930,7 @@ mod tests {
         server.arm_faults(DeviceFaultPlan {
             transient_ops: [4u64, 5].into_iter().collect(),
             lost_at_op: Some(6),
+            recover_at_op: None,
         });
         server.submit_all(txns);
         let stats = server.drain(100).clone();

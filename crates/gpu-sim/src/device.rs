@@ -169,15 +169,33 @@ impl Device {
         self.failed.store(true, Ordering::Relaxed);
     }
 
+    /// Clear the sticky lost flag: the device reset, re-enumerated, and is
+    /// healthy again. This is the *repair* half of timed device recovery —
+    /// the replica/failover layer calls it when a chaos schedule says the
+    /// outage has ended, then hands the device to its next owner via
+    /// [`Device::reset_for_reuse`]. A plan-scheduled permanent loss is not
+    /// un-scheduled by this; re-arm or disarm the plan for that.
+    pub fn revive(&self) {
+        self.failed.store(false, Ordering::Relaxed);
+    }
+
     /// Consume one fallible-operation ordinal and apply the armed plan.
     fn fault_check(&self) -> Result<(), DeviceError> {
         let op = self.fault_op.fetch_add(1, Ordering::Relaxed);
         if self.failed.load(Ordering::Relaxed) {
             return Err(DeviceError::DeviceLost { op });
         }
-        match self.fault_plan.lock().classify(op) {
+        let (verdict, permanent) = {
+            let mut plan = self.fault_plan.lock();
+            (plan.classify(op), plan.loss_is_permanent())
+        };
+        match verdict {
             Some(DeviceError::DeviceLost { op }) => {
-                self.failed.store(true, Ordering::Relaxed);
+                // A timed outage (loss window with a recovery point) heals
+                // by itself; only a permanent loss latches the sticky flag.
+                if permanent {
+                    self.failed.store(true, Ordering::Relaxed);
+                }
                 Err(DeviceError::DeviceLost { op })
             }
             Some(err @ DeviceError::TransientTransfer { .. }) => {
@@ -424,6 +442,7 @@ mod tests {
         d.arm_faults(DeviceFaultPlan {
             transient_ops: [1u64].into_iter().collect(),
             lost_at_op: None,
+            recover_at_op: None,
         });
         d.try_h2d(64).unwrap(); // op 0
         let before = d.stats().busy_ns;
@@ -441,7 +460,11 @@ mod tests {
     fn device_loss_is_sticky() {
         use crate::faults::{DeviceError, DeviceFaultPlan};
         let d = Device::new(DeviceConfig::default());
-        d.arm_faults(DeviceFaultPlan { transient_ops: Default::default(), lost_at_op: Some(2) });
+        d.arm_faults(DeviceFaultPlan {
+            transient_ops: Default::default(),
+            lost_at_op: Some(2),
+            recover_at_op: None,
+        });
         d.try_h2d(8).unwrap();
         d.check_alive().unwrap();
         assert!(matches!(d.try_d2h(8), Err(DeviceError::DeviceLost { op: 2 })));
@@ -457,6 +480,7 @@ mod tests {
         d.arm_faults(DeviceFaultPlan {
             transient_ops: [0u64].into_iter().collect(),
             lost_at_op: None,
+            recover_at_op: None,
         });
         // A transient scheduled on a liveness probe is ignored.
         d.check_alive().unwrap();
@@ -476,6 +500,7 @@ mod tests {
         d.arm_faults(DeviceFaultPlan {
             transient_ops: [2u64, 3, 4].into_iter().collect(),
             lost_at_op: Some(50),
+            recover_at_op: None,
         });
         d.try_h2d(8).unwrap(); // op 0
         d.reset_for_reuse();
@@ -494,6 +519,38 @@ mod tests {
         d.reset_for_reuse();
         assert!(d.is_failed());
         assert!(d.try_h2d(8).is_err());
+    }
+
+    #[test]
+    fn timed_loss_window_is_not_sticky() {
+        use crate::faults::{DeviceError, DeviceFaultPlan};
+        let d = Device::new(DeviceConfig::default());
+        d.arm_faults(DeviceFaultPlan {
+            transient_ops: Default::default(),
+            lost_at_op: Some(1),
+            recover_at_op: Some(3),
+        });
+        d.try_h2d(8).unwrap(); // op 0
+        assert!(matches!(d.try_h2d(8), Err(DeviceError::DeviceLost { op: 1 })));
+        assert!(!d.is_failed(), "a timed outage must not latch the sticky flag");
+        assert!(matches!(d.try_d2h(8), Err(DeviceError::DeviceLost { op: 2 })));
+        // Window closed: the device re-enumerated and serves ops again.
+        d.try_h2d(8).unwrap(); // op 3
+        d.check_alive().unwrap();
+        assert!(!d.is_failed());
+    }
+
+    #[test]
+    fn revive_clears_forced_failure() {
+        let d = Device::new(DeviceConfig::default());
+        d.fail_now();
+        assert!(d.is_failed());
+        assert!(d.try_h2d(8).is_err());
+        d.revive();
+        d.reset_for_reuse();
+        assert!(!d.is_failed());
+        d.try_h2d(8).unwrap();
+        d.check_alive().unwrap();
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   failed state; every subsequent fallible op returns
 //!   [`DeviceError::DeviceLost`]. This models a hard crash (falling off
 //!   the bus, Xid error) and can land *mid-batch*, between phase kernels.
+//!   A loss may optionally carry a recovery point ([`DeviceFaultPlan::
+//!   recover_at_op`]): ordinals inside `[lost_at_op, recover_at_op)` fail,
+//!   later ones succeed again — the analogue of a device that resets and
+//!   re-enumerates instead of staying off the bus. Windowed losses are
+//!   *not* sticky; only a permanent loss (no recovery point) latches the
+//!   device's failed flag.
 
 use std::collections::BTreeSet;
 
@@ -58,8 +64,13 @@ pub struct DeviceFaultPlan {
     /// entry fires once; a retry gets the next ordinal and proceeds unless
     /// that ordinal is also listed.
     pub transient_ops: BTreeSet<u64>,
-    /// Ordinal at which the device is lost for good, if any.
+    /// Ordinal at which the device is lost, if any. Permanent unless
+    /// `recover_at_op` opens a window.
     pub lost_at_op: Option<u64>,
+    /// Ordinal at which a lost device comes back, if the loss is a timed
+    /// outage rather than a hard death. Ignored without `lost_at_op`;
+    /// a window that closes at or before it opens never fires.
+    pub recover_at_op: Option<u64>,
 }
 
 impl DeviceFaultPlan {
@@ -73,11 +84,18 @@ impl DeviceFaultPlan {
         self.transient_ops.is_empty() && self.lost_at_op.is_none()
     }
 
-    /// What happens at ordinal `op`: device loss dominates, then a
-    /// (consumed) transient entry, then success.
+    /// Whether a loss scheduled by this plan is permanent (no recovery
+    /// window). Plans without a loss report `false`.
+    pub fn loss_is_permanent(&self) -> bool {
+        self.lost_at_op.is_some() && self.recover_at_op.is_none()
+    }
+
+    /// What happens at ordinal `op`: device loss dominates while inside
+    /// the loss window, then a (consumed) transient entry, then success.
     pub(crate) fn classify(&mut self, op: u64) -> Option<DeviceError> {
         if let Some(lost) = self.lost_at_op {
-            if op >= lost {
+            let recovered = self.recover_at_op.is_some_and(|r| op >= r);
+            if op >= lost && !recovered {
                 return Some(DeviceError::DeviceLost { op });
             }
         }
@@ -106,6 +124,7 @@ mod tests {
         let mut p = DeviceFaultPlan {
             transient_ops: [3u64, 5].into_iter().collect(),
             lost_at_op: None,
+            recover_at_op: None,
         };
         assert_eq!(p.classify(2), None);
         assert_eq!(p.classify(3), Some(DeviceError::TransientTransfer { op: 3 }));
@@ -119,11 +138,43 @@ mod tests {
         let mut p = DeviceFaultPlan {
             transient_ops: [10u64].into_iter().collect(),
             lost_at_op: Some(7),
+            recover_at_op: None,
         };
         assert_eq!(p.classify(6), None);
         assert_eq!(p.classify(7), Some(DeviceError::DeviceLost { op: 7 }));
         assert_eq!(p.classify(8), Some(DeviceError::DeviceLost { op: 8 }));
         // Even the scheduled transient at 10 reads as loss now.
         assert_eq!(p.classify(10), Some(DeviceError::DeviceLost { op: 10 }));
+        assert!(p.loss_is_permanent());
+    }
+
+    #[test]
+    fn timed_loss_recovers_after_the_window() {
+        let mut p = DeviceFaultPlan {
+            transient_ops: [9u64].into_iter().collect(),
+            lost_at_op: Some(4),
+            recover_at_op: Some(7),
+        };
+        assert!(!p.loss_is_permanent());
+        assert_eq!(p.classify(3), None);
+        assert_eq!(p.classify(4), Some(DeviceError::DeviceLost { op: 4 }));
+        assert_eq!(p.classify(6), Some(DeviceError::DeviceLost { op: 6 }));
+        // The window closes at 7: the device is healthy again...
+        assert_eq!(p.classify(7), None);
+        assert_eq!(p.classify(8), None);
+        // ...and later transients still apply as scheduled.
+        assert_eq!(p.classify(9), Some(DeviceError::TransientTransfer { op: 9 }));
+    }
+
+    #[test]
+    fn degenerate_recovery_window_never_fires() {
+        let mut p = DeviceFaultPlan {
+            transient_ops: BTreeSet::new(),
+            lost_at_op: Some(5),
+            recover_at_op: Some(5),
+        };
+        for op in 0..20 {
+            assert_eq!(p.classify(op), None);
+        }
     }
 }

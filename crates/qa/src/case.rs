@@ -77,6 +77,12 @@ pub struct QaCase {
     /// Fault plan: kill shard `.0`'s device after tick `.1` of the sharded
     /// pass, forcing its CPU-twin fallback mid-run.
     pub fail_shard: Option<(u32, u32)>,
+    /// Warm standby rows attached to the sharded pass. With a pool, a
+    /// `fail_shard` loss promotes a standby row instead of degrading to
+    /// the CPU twin — and every differential assertion (lockstep, slice
+    /// digests, WAL replay) must hold regardless, because failover is
+    /// replay of the same deterministic commit stream.
+    pub standbys: u32,
     /// Treat column 0 of table 0 as always-commutative (exercises the
     /// delayed-merge and forced-abort paths).
     pub commutative_t0c0: bool,

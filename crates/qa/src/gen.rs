@@ -90,16 +90,25 @@ pub fn generate(seed: u64) -> QaCase {
     } else {
         None
     };
+    let batch_size = [4usize, 8, 16, 32][rng.gen_range(0..4usize)];
+    let pipelined = rng.gen_bool(0.5);
+    let checkpoint_every = if rng.gen_bool(0.3) { Some(2) } else { None };
+    let commutative_t0c0 = rng.gen_bool(0.2);
+    // Drawn last so pre-replication seeds map to the same cases they
+    // always did. A pool turns any `fail_shard` loss into a failover; it
+    // also rides along fault-free runs to cover steady-state replay.
+    let standbys = if rng.gen_bool(0.25) { rng.gen_range(1..=2u32) } else { 0 };
     QaCase {
         seed,
         tables,
         txns,
-        batch_size: [4usize, 8, 16, 32][rng.gen_range(0..4usize)],
+        batch_size,
         shards,
-        pipelined: rng.gen_bool(0.5),
-        checkpoint_every: if rng.gen_bool(0.3) { Some(2) } else { None },
+        pipelined,
+        checkpoint_every,
         fail_shard,
-        commutative_t0c0: rng.gen_bool(0.2),
+        commutative_t0c0,
+        standbys,
     }
 }
 

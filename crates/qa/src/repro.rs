@@ -50,6 +50,9 @@ pub fn to_text(case: &QaCase) -> String {
     if let Some((shard, tick)) = case.fail_shard {
         let _ = writeln!(s, "fail_shard {shard} {tick}");
     }
+    if case.standbys > 0 {
+        let _ = writeln!(s, "standbys {}", case.standbys);
+    }
     if case.commutative_t0c0 {
         let _ = writeln!(s, "commutative_t0c0");
     }
@@ -313,6 +316,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
         checkpoint_every: None,
         fail_shard: None,
         commutative_t0c0: false,
+        standbys: 0,
     };
     // (proc, params, ops) of the txn currently being collected.
     let mut open_txn: Option<(u16, Vec<i64>, Vec<IrOp>)> = None;
@@ -350,6 +354,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
                 case.fail_shard =
                     Some((num(lineno, toks.get(1))?, num(lineno, toks.get(2))?))
             }
+            "standbys" => case.standbys = num(lineno, toks.get(1))?,
             "commutative_t0c0" => case.commutative_t0c0 = true,
             "table" => {
                 let name =

@@ -203,6 +203,15 @@ fn server_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergenc
     let part = case.partitioner();
     let mut single = LtpgServer::new(db.deep_clone(), cfg.clone(), scfg.clone());
     let mut sharded = ltpg_shard::ShardedServer::new(db, part.clone(), cfg.clone(), scfg);
+    if case.standbys > 0 {
+        // Replicated chaos schedule: a `fail_shard` loss now promotes a
+        // warm standby row instead of degrading to the CPU twin. Every
+        // assertion below is unchanged — failover must be invisible.
+        sharded.attach_replicas(&ltpg_replica::ReplicaConfig {
+            standbys: case.standbys as usize,
+            ..ltpg_replica::ReplicaConfig::default()
+        });
+    }
     single.submit_all(case.txns.iter().cloned());
     sharded.submit_all(case.txns.iter().cloned());
 

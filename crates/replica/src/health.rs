@@ -1,0 +1,163 @@
+//! Heartbeat-driven primary health monitoring.
+//!
+//! The server probes its primary device once per tick and feeds the
+//! observation to a [`HealthMonitor`]. Probes are classified three ways:
+//!
+//! - [`Heartbeat::Alive`] — the device answered; any miss streak resets.
+//! - [`Heartbeat::Dropped`] — the probe itself was lost (chaos injection
+//!   models a flaky management link). The monitor counts a miss but the
+//!   device may be perfectly healthy underneath.
+//! - [`Heartbeat::Dead`] — the device's sticky lost flag is set, or an
+//!   in-band [`ltpg_gpu_sim::DeviceError::DeviceLost`] was observed.
+//!
+//! Once the consecutive-miss streak reaches the threshold (or a `Dead`
+//! beat arrives), the verdict turns [`HealthVerdict::Failed`] and the
+//! server promotes a standby at the next batch boundary. A false positive
+//! — a healthy primary fenced because its heartbeats were dropped — is
+//! *safe* by construction: the promoted standby replays the same logged
+//! batch stream, so the history it serves is bit-identical to what the
+//! fenced primary would have produced. Deterministic replication turns a
+//! classically dangerous split-brain hazard into a latency blip.
+
+use std::sync::Arc;
+
+use ltpg_telemetry::{names, Counter, Registry};
+
+/// One tick's health probe result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heartbeat {
+    /// The primary answered the probe.
+    Alive,
+    /// The probe was dropped in flight; nothing was learned.
+    Dropped,
+    /// The primary is positively known dead.
+    Dead,
+}
+
+/// Rolling verdict after an observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthVerdict {
+    /// The primary is believed healthy.
+    Healthy,
+    /// `n` consecutive probes have gone unanswered; not yet fenced.
+    Suspect(u32),
+    /// The primary is fenced: promote a standby at the next boundary.
+    Failed,
+}
+
+/// Consecutive-miss heartbeat monitor for one primary.
+pub struct HealthMonitor {
+    miss_threshold: u32,
+    consecutive_misses: u32,
+    failed: bool,
+    misses: Arc<Counter>,
+}
+
+impl std::fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HealthMonitor")
+            .field("miss_threshold", &self.miss_threshold)
+            .field("consecutive_misses", &self.consecutive_misses)
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl HealthMonitor {
+    /// A monitor that fences the primary after `miss_threshold`
+    /// consecutive unanswered probes (clamped to at least 1). Heartbeat
+    /// misses are counted on `registry` under
+    /// [`names::REPLICA_HEARTBEAT_MISSES`].
+    pub fn new(miss_threshold: u32, registry: &Registry) -> Self {
+        HealthMonitor {
+            miss_threshold: miss_threshold.max(1),
+            consecutive_misses: 0,
+            failed: false,
+            misses: registry.counter(names::REPLICA_HEARTBEAT_MISSES),
+        }
+    }
+
+    /// Feed one probe result and get the rolling verdict.
+    pub fn observe(&mut self, beat: Heartbeat) -> HealthVerdict {
+        if self.failed {
+            return HealthVerdict::Failed;
+        }
+        match beat {
+            Heartbeat::Alive => {
+                self.consecutive_misses = 0;
+                HealthVerdict::Healthy
+            }
+            Heartbeat::Dead => {
+                self.misses.inc();
+                self.failed = true;
+                HealthVerdict::Failed
+            }
+            Heartbeat::Dropped => {
+                self.misses.inc();
+                self.consecutive_misses += 1;
+                if self.consecutive_misses >= self.miss_threshold {
+                    self.failed = true;
+                    HealthVerdict::Failed
+                } else {
+                    HealthVerdict::Suspect(self.consecutive_misses)
+                }
+            }
+        }
+    }
+
+    /// Whether the monitored primary is fenced.
+    pub fn is_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// Re-arm the monitor for a newly installed primary.
+    pub fn reset(&mut self) {
+        self.consecutive_misses = 0;
+        self.failed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alive_resets_the_miss_streak() {
+        let reg = Registry::new_shared();
+        let mut m = HealthMonitor::new(3, &reg);
+        assert_eq!(m.observe(Heartbeat::Dropped), HealthVerdict::Suspect(1));
+        assert_eq!(m.observe(Heartbeat::Dropped), HealthVerdict::Suspect(2));
+        assert_eq!(m.observe(Heartbeat::Alive), HealthVerdict::Healthy);
+        assert_eq!(m.observe(Heartbeat::Dropped), HealthVerdict::Suspect(1));
+        assert!(!m.is_failed());
+        assert_eq!(reg.counter_value(names::REPLICA_HEARTBEAT_MISSES), 3);
+    }
+
+    #[test]
+    fn threshold_consecutive_drops_fence_the_primary() {
+        let reg = Registry::new_shared();
+        let mut m = HealthMonitor::new(2, &reg);
+        assert_eq!(m.observe(Heartbeat::Dropped), HealthVerdict::Suspect(1));
+        assert_eq!(m.observe(Heartbeat::Dropped), HealthVerdict::Failed);
+        assert!(m.is_failed());
+        // The verdict is sticky until reset, even if probes recover.
+        assert_eq!(m.observe(Heartbeat::Alive), HealthVerdict::Failed);
+        m.reset();
+        assert_eq!(m.observe(Heartbeat::Alive), HealthVerdict::Healthy);
+    }
+
+    #[test]
+    fn dead_beat_fences_immediately() {
+        let reg = Registry::new_shared();
+        let mut m = HealthMonitor::new(5, &reg);
+        assert_eq!(m.observe(Heartbeat::Dead), HealthVerdict::Failed);
+        assert!(m.is_failed());
+    }
+
+    #[test]
+    fn zero_threshold_is_clamped_to_one() {
+        let reg = Registry::new_shared();
+        let mut m = HealthMonitor::new(0, &reg);
+        assert_eq!(m.observe(Heartbeat::Dropped), HealthVerdict::Failed);
+    }
+}

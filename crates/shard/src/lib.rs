@@ -25,6 +25,13 @@
 //!   per-shard fault injection: losing one device degrades only that
 //!   shard to the scoped CPU twin ([`CpuShardEngine`]), rebuilt by joint
 //!   lockstep WAL replay, while the history stays bit-identical.
+//! * With a warm standby pool attached
+//!   ([`ShardedServer::attach_replicas`], backed by `ltpg-replica`),
+//!   device loss instead promotes a full standby row — one engine per
+//!   shard, kept in lockstep by replaying the logged batch stream — at
+//!   the next batch boundary; heartbeat monitors fence unresponsive
+//!   primaries, timed recoveries re-promote revived devices, and the CPU
+//!   twin remains the last-resort fallback when the pool is exhausted.
 //!
 //! See DESIGN.md ("Sharded execution") for the exactness argument and its
 //! one caveat (`LOG_FULL` capacity divergence).

@@ -40,9 +40,10 @@ use std::sync::Arc;
 
 use ltpg::{
     commit_decision, DurabilityManager, ExecScope, LtpgConfig, LtpgEngine, PreparedBatch,
-    RecoveryError, ServerConfig, ServerError,
+    PromotionCrashpoint, RecoveryError, ReplicaChaos, ServerConfig, ServerError,
 };
-use ltpg_gpu_sim::{DeviceError, DeviceFaultPlan};
+use ltpg_gpu_sim::{Device, DeviceError, DeviceFaultPlan};
+use ltpg_replica::{HealthMonitor, HealthVerdict, Heartbeat, MergedWords, ReplicaConfig, ReplicaError, ReplicaSet};
 use ltpg_storage::Database;
 use ltpg_telemetry::{names, Registry};
 use ltpg_txn::{decode_batch, Batch, Tid, TidGen, Txn};
@@ -62,6 +63,10 @@ pub struct ShardedBatchSummary {
     /// Simulated batch latency, ns: slowest shard's prepare + merge +
     /// slowest shard's finish, plus any retry backoff.
     pub sim_ns: f64,
+    /// OR-merged conflict-flag word per transaction (by TID). Bit-equal
+    /// to the words a single device over the whole database derives, so
+    /// differential harnesses can compare them across topologies.
+    pub flag_words: BTreeMap<u64, u32>,
 }
 
 /// Cumulative sharded-server statistics.
@@ -89,6 +94,8 @@ pub struct ShardedStats {
     pub merge_stall_ns: f64,
     /// Shards currently degraded to the CPU twin.
     pub degraded_shards: u32,
+    /// Standby-row promotions (full-topology failovers).
+    pub failovers: u64,
 }
 
 impl ShardedStats {
@@ -172,6 +179,20 @@ pub struct ShardedServer {
     /// Server-level registry (`shard.*` metrics). Each shard additionally
     /// owns a private registry for its device/engine metrics.
     telemetry: Arc<Registry>,
+    /// Warm standby rows replaying the commit stream; `None` until
+    /// [`attach_replicas`](Self::attach_replicas).
+    replicas: Option<ReplicaSet>,
+    /// One heartbeat monitor per shard (empty until replicas attach).
+    monitors: Vec<HealthMonitor>,
+    /// Deterministic replication-layer chaos knobs.
+    replica_chaos: ReplicaChaos,
+    /// Heartbeat probe counter (drives `heartbeat_drop_ticks`).
+    tick_no: u64,
+    /// The most recently lost shard's physical device, kept for timed
+    /// recovery re-enlistment, with the shard it served and the batch
+    /// count at loss.
+    lost_device: Option<(usize, Arc<Device>)>,
+    lost_at_batch: Option<u64>,
 }
 
 impl ShardedServer {
@@ -216,7 +237,55 @@ impl ShardedServer {
             requeue: VecDeque::new(),
             stats: ShardedStats::default(),
             telemetry,
+            replicas: None,
+            monitors: Vec::new(),
+            replica_chaos: ReplicaChaos::none(),
+            tick_no: 0,
+            lost_device: None,
+            lost_at_batch: None,
         }
+    }
+
+    /// Attach a warm standby pool: `cfg.standbys` full rows (one engine
+    /// per shard) built from the shards' current checkpoint images, plus
+    /// one heartbeat monitor per shard. Standbys replay every logged
+    /// batch in lockstep behind the primaries; on device loss (or a
+    /// fenced heartbeat) the freshest row is promoted wholesale at the
+    /// batch boundary. `REPLICA_*` metrics publish on
+    /// [`telemetry`](Self::telemetry).
+    pub fn attach_replicas(&mut self, cfg: &ReplicaConfig) {
+        let images: Vec<Database> =
+            self.shards.iter().map(|sh| sh.durability.checkpoint_image()).collect();
+        let base = self.shards[0].durability.checkpoint_batch();
+        self.replicas = Some(ReplicaSet::new(
+            images,
+            base,
+            self.engine_cfg.clone(),
+            cfg,
+            Arc::clone(&self.telemetry),
+        ));
+        self.monitors = (0..self.shards.len())
+            .map(|_| HealthMonitor::new(cfg.heartbeat_miss_threshold, &self.telemetry))
+            .collect();
+    }
+
+    /// Whether a standby pool is attached.
+    pub fn has_replicas(&self) -> bool {
+        self.replicas.is_some()
+    }
+
+    /// Alive standby rows (0 when no pool is attached).
+    pub fn standbys_alive(&self) -> usize {
+        self.replicas.as_ref().map_or(0, ReplicaSet::rows_alive)
+    }
+
+    /// Arm deterministic replication-layer chaos (timed device recovery,
+    /// heartbeat drops, standby lag, promotion crashpoints).
+    pub fn arm_replica_chaos(&mut self, chaos: ReplicaChaos) {
+        if let (Some(set), Some((row, lag))) = (&mut self.replicas, chaos.standby_lag) {
+            set.inject_lag(row as usize, lag);
+        }
+        self.replica_chaos = chaos;
     }
 
     /// Number of shards.
@@ -309,6 +378,8 @@ impl ShardedServer {
         );
         let _ = writeln!(out, "merge stall           {:.1} us", s.merge_stall_ns / 1e3);
         let _ = writeln!(out, "degraded shards       {}", s.degraded_shards);
+        let _ = writeln!(out, "failovers             {}", s.failovers);
+        let _ = writeln!(out, "standbys alive        {}", self.standbys_alive());
         out
     }
 
@@ -537,6 +608,158 @@ impl ShardedServer {
         Ok(last_merged)
     }
 
+    /// Remember shard `failed`'s physical device so a later timed
+    /// recovery ([`ReplicaChaos::device_recovers_after_batches`]) can
+    /// revive and re-enlist it.
+    fn note_device_loss(&mut self, failed: usize) {
+        if let ShardExec::Gpu(e) = &self.shards[failed].exec {
+            self.lost_device = Some((failed, e.device_handle()));
+            self.lost_at_batch = Some(self.stats.batches);
+        }
+    }
+
+    /// Promote the freshest standby row onto every shard, catching it up
+    /// through batches `< upto`. Returns the merged conflict words of the
+    /// last replayed batch (`upto - 1`) on success, or `None` when no
+    /// pool is attached / the pool is exhausted — the caller then falls
+    /// back to CPU degradation. Promotion crashpoints surface as
+    /// [`ServerError::InjectedCrash`] ("process death" mid-cutover); the
+    /// WAL already holds everything needed to recover.
+    fn try_promote_row(&mut self, upto: u64) -> Result<Option<Option<MergedWords>>, ServerError> {
+        let Some(mut set) = self.replicas.take() else { return Ok(None) };
+        if set.rows_alive() == 0 {
+            self.replicas = Some(set);
+            return Ok(None);
+        }
+        match self.replica_chaos.promotion_crash.take() {
+            Some(PromotionCrashpoint::BeforeCatchup) => {
+                self.replicas = Some(set);
+                return Err(ServerError::InjectedCrash("promotion:before-catchup"));
+            }
+            Some(PromotionCrashpoint::AfterCatchup) => {
+                let mut driver = joint_replay_driver(&self.shards, &self.router);
+                let _ = set.promote_row(upto, &mut driver);
+                self.replicas = Some(set);
+                return Err(ServerError::InjectedCrash("promotion:after-catchup"));
+            }
+            None => {}
+        }
+        let result = {
+            let mut driver = joint_replay_driver(&self.shards, &self.router);
+            set.promote_row(upto, &mut driver)
+        };
+        self.replicas = Some(set);
+        let Some((engines, last_words, ns)) = result else { return Ok(None) };
+        for (s, mut engine) in engines.into_iter().enumerate() {
+            engine.rebind_telemetry(Arc::clone(&self.shards[s].telemetry));
+            self.shards[s].exec = ShardExec::Gpu(Box::new(engine));
+            self.shards[s].degraded = false;
+        }
+        // The promoted row replaces the whole topology with healthy GPU
+        // engines, so any CPU-degraded shard is healed by the cutover.
+        self.stats.degraded_shards = 0;
+        self.telemetry.gauge(names::SHARD_DEGRADED).set(0);
+        self.stats.failovers += 1;
+        self.stats.sim_ns += ns;
+        for m in &mut self.monitors {
+            m.reset();
+        }
+        Ok(Some(last_words))
+    }
+
+    /// Probe every primary's health once per tick (chaos may drop the
+    /// probes) and fail over when a monitor fences its shard. Runs only
+    /// when a standby pool is attached.
+    fn probe_heartbeats(&mut self) -> Result<(), ServerError> {
+        if self.monitors.is_empty() {
+            return Ok(());
+        }
+        let tick = self.tick_no;
+        self.tick_no += 1;
+        let dropped = self.replica_chaos.heartbeat_drop_ticks.contains(&tick);
+        let mut fenced = None;
+        for (s, sh) in self.shards.iter().enumerate() {
+            let beat = match &sh.exec {
+                ShardExec::Gpu(e) if e.device().is_failed() => Heartbeat::Dead,
+                ShardExec::Gpu(_) if dropped => Heartbeat::Dropped,
+                ShardExec::Gpu(_) => Heartbeat::Alive,
+                _ => continue,
+            };
+            if self.monitors[s].observe(beat) == HealthVerdict::Failed && fenced.is_none() {
+                fenced = Some(s);
+            }
+        }
+        let Some(s) = fenced else { return Ok(()) };
+        // A Dead fence means the device is really gone: stash it for
+        // timed-recovery re-enlistment. A Dropped fence is a (safe) false
+        // positive — the healthy device is discarded, not stashed.
+        if let ShardExec::Gpu(e) = &self.shards[s].exec {
+            if e.device().is_failed() {
+                self.note_device_loss(s);
+            }
+        }
+        let upto = self.shards[0].durability.logged_batches() as u64;
+        if self.try_promote_row(upto)?.is_none() {
+            self.degrade_and_replay(s)?;
+            self.monitors[s].reset();
+        }
+        Ok(())
+    }
+
+    /// Timed-recovery re-promotion: once the chaos plan says the lost
+    /// device has recovered, revive + reset it and bring it back — as the
+    /// serving engine of its shard if that shard is still limping on the
+    /// CPU twin (clearing the degraded gauge), or as a fresh standby row
+    /// if a failover already healed the topology.
+    fn maybe_rejoin_recovered_device(&mut self) {
+        let Some(after) = self.replica_chaos.device_recovers_after_batches else { return };
+        let Some(lost_at) = self.lost_at_batch else { return };
+        if self.stats.batches < lost_at.saturating_add(after) {
+            return;
+        }
+        let Some((s, device)) = self.lost_device.take() else { return };
+        self.lost_at_batch = None;
+        device.revive();
+        device.reset_for_reuse();
+        if self.shards[s].degraded {
+            let exec = std::mem::replace(&mut self.shards[s].exec, ShardExec::Vacant);
+            let ShardExec::Cpu(twin) = exec else {
+                unreachable!("degraded shard must hold the CPU twin")
+            };
+            self.shards[s].exec = ShardExec::Gpu(Box::new(LtpgEngine::with_device(
+                twin.into_database(),
+                self.engine_cfg.clone(),
+                Arc::clone(&self.shards[s].telemetry),
+                device,
+            )));
+            self.shards[s].degraded = false;
+            self.stats.degraded_shards =
+                self.shards.iter().filter(|sh| sh.degraded).count() as u32;
+            self.telemetry.gauge(names::SHARD_DEGRADED).set(self.stats.degraded_shards as i64);
+            self.telemetry.counter(names::REPLICA_REPROMOTIONS).inc();
+            if let Some(m) = self.monitors.get_mut(s) {
+                m.reset();
+            }
+        } else if let Some(set) = &mut self.replicas {
+            let images: Vec<Database> =
+                self.shards.iter().map(|sh| sh.durability.checkpoint_image()).collect();
+            let base = self.shards[0].durability.checkpoint_batch();
+            set.spawn_row_with_device(images, base, device);
+        }
+    }
+
+    /// Advance every standby row through the logged tail (one joint
+    /// lockstep replay per row per batch).
+    fn replicate_tail(&mut self) {
+        let Some(mut set) = self.replicas.take() else { return };
+        let tail = self.shards[0].durability.logged_batches() as u64;
+        {
+            let mut driver = joint_replay_driver(&self.shards, &self.router);
+            set.observe(tail, &mut driver);
+        }
+        self.replicas = Some(set);
+    }
+
     /// Form, route and execute one global batch. Returns `None` when the
     /// server is fully idle; an empty summary when aborted transactions
     /// are still waiting out their re-entry delay.
@@ -553,6 +776,11 @@ impl ShardedServer {
     /// [`tick`](Self::tick), surfacing unabsorbable faults as errors.
     pub fn try_tick(&mut self) -> Result<Option<ShardedBatchSummary>, ServerError> {
         self.telemetry.counter(names::SHARD_TICKS).inc();
+        // Batch boundary: recovered devices rejoin, heartbeats are
+        // probed, and a fenced primary triggers failover *before* the
+        // next batch forms — promotion never interleaves with execution.
+        self.maybe_rejoin_recovered_device();
+        self.probe_heartbeats()?;
         let due = self.requeue.pop_front().unwrap_or_default();
         if due.is_empty() && self.inbox.is_empty() {
             if self.requeue.iter().all(Vec::is_empty) {
@@ -562,6 +790,7 @@ impl ShardedServer {
                 committed: Vec::new(),
                 aborted: Vec::new(),
                 sim_ns: 0.0,
+                flag_words: BTreeMap::new(),
             }));
         }
         let mut fresh = Vec::new();
@@ -604,12 +833,24 @@ impl ShardedServer {
             }
         }
         let (merged, sim_ns) = if let Some(failed) = lost {
-            // The failed prepare mutated nothing; rebuild everything from
-            // the logs (which include this batch) and take the replay's
-            // verdicts. Simulated cost: the degraded tick is dominated by
-            // the CPU replay of the in-flight batch, approximated by the
-            // twin path on the next ticks; charge only backoff here.
-            (self.degrade_and_replay(failed)?, backoff_ns)
+            // The failed prepare mutated nothing. Preferred path: promote
+            // a standby row — the in-flight batch was logged before
+            // execution, so the promotion catch-up replays it and its
+            // merged words stand in for the lost prepare. Exhausted pool:
+            // rebuild everything from the logs on the CPU twins. Either
+            // way the verdicts come from a replay of the same WAL.
+            // Simulated cost: failover latency is accounted by
+            // `try_promote_row`; charge only backoff here.
+            self.note_device_loss(failed);
+            let upto = self.shards[0].durability.logged_batches() as u64;
+            match self.try_promote_row(upto)? {
+                Some(words) => {
+                    let words =
+                        words.expect("mid-batch failover must replay the in-flight batch");
+                    (words, backoff_ns)
+                }
+                None => (self.degrade_and_replay(failed)?, backoff_ns),
+            }
         } else {
             let mut merged: BTreeMap<u64, u32> = BTreeMap::new();
             for (s, p) in prepared.iter().enumerate() {
@@ -644,9 +885,18 @@ impl ShardedServer {
             }
             if let Some(failed) = finish_lost {
                 // Mid-finish loss may have left this shard's slice partly
-                // written; the joint replay rebuilds every shard from its
-                // WAL, which re-derives the same merged verdicts.
-                (self.degrade_and_replay(failed)?, backoff_ns)
+                // written; both recovery paths rebuild every shard from
+                // the WAL, which re-derives the same merged verdicts.
+                self.note_device_loss(failed);
+                let upto = self.shards[0].durability.logged_batches() as u64;
+                match self.try_promote_row(upto)? {
+                    Some(words) => {
+                        let words =
+                            words.expect("mid-batch failover must replay the in-flight batch");
+                        (words, backoff_ns)
+                    }
+                    None => (self.degrade_and_replay(failed)?, backoff_ns),
+                }
             } else {
                 (merged, max_prep + max_finish + backoff_ns)
             }
@@ -669,6 +919,9 @@ impl ShardedServer {
         self.stats.abort_events += aborted.len() as u64;
         self.stats.sim_ns += sim_ns;
         self.telemetry.histogram(names::SHARD_TICK_NS).record_ns(sim_ns);
+        // Steady-state replication: every standby row replays the batch
+        // just executed (and closes any residual lag) at the boundary.
+        self.replicate_tail();
         if let Some(every) = self.cfg.checkpoint_every {
             if self.stats.batches.is_multiple_of(every as u64) {
                 for sh in &mut self.shards {
@@ -689,7 +942,7 @@ impl ShardedServer {
                 .collect();
             self.requeue[delay - 1].extend(retry);
         }
-        Ok(Some(ShardedBatchSummary { committed, aborted, sim_ns }))
+        Ok(Some(ShardedBatchSummary { committed, aborted, sim_ns, flag_words: merged }))
     }
 
     /// Run batches until every admitted transaction has committed (or
@@ -701,6 +954,79 @@ impl ShardedServer {
             }
         }
         &self.stats
+    }
+}
+
+/// The sharded [`ltpg_replica::ReplayDriver`]: apply logged batch
+/// `batch_id` to one standby row by the exact primary protocol — fetch
+/// every shard's sub-batch from its WAL, prepare each engine against a
+/// remote view of its row peers, OR-merge the conflict-flag words, and
+/// finish with the merged words. Determinism makes the row bit-identical
+/// to the primaries after every batch.
+fn joint_replay_driver<'a>(
+    shards: &'a [Shard],
+    router: &'a Router,
+) -> impl FnMut(&mut [Option<LtpgEngine>], u64) -> Result<MergedWords, ReplicaError> + 'a {
+    move |engines, batch_id| {
+        let n = shards.len();
+        let scoped = n > 1;
+        let part = router.partitioner();
+        let mut subs: Vec<Batch> = Vec::with_capacity(n);
+        for sh in shards {
+            let rec = sh
+                .durability
+                .log()
+                .fetch(batch_id)
+                .ok_or(ReplicaError::WalGap { batch_id })?;
+            let txns = decode_batch(&rec.payload)
+                .map_err(|e| ReplicaError::Corrupt(format!("{e:?}")))?;
+            subs.push(Batch { txns });
+        }
+        let mut prepared: Vec<Option<PreparedBatch>> = Vec::with_capacity(n);
+        for (s, sub) in subs.iter().enumerate() {
+            if sub.txns.is_empty() {
+                prepared.push(None);
+                continue;
+            }
+            let mut engine = engines[s].take().expect("standby engine present");
+            let result = {
+                let dbs: Vec<Option<&Database>> = engines
+                    .iter()
+                    .map(|e| e.as_ref().map(ltpg_txn::BatchEngine::database))
+                    .collect();
+                let view = RemoteView::new(part, dbs);
+                let shard_id = s as u32;
+                let owns_row = move |t, k| part.owns_row(shard_id, t, k);
+                let owns_mem = move |t, p| part.owns_membership(shard_id, t, p);
+                let scope =
+                    ExecScope { remote: Some(&view), owns_row: &owns_row, owns_membership: &owns_mem };
+                engine.try_prepare_batch(sub, scoped.then_some(&scope))
+            };
+            engines[s] = Some(engine);
+            prepared.push(Some(result.map_err(ReplicaError::Dead)?));
+        }
+        let mut merged: MergedWords = BTreeMap::new();
+        for (s, p) in prepared.iter().enumerate() {
+            let Some(p) = p else { continue };
+            for (j, txn) in subs[s].txns.iter().enumerate() {
+                *merged.entry(txn.tid.0).or_insert(0) |= p.flag_word(j);
+            }
+        }
+        for (s, slot) in prepared.iter_mut().enumerate() {
+            let Some(p) = slot.take() else { continue };
+            for (j, txn) in subs[s].txns.iter().enumerate() {
+                p.set_flag_word(j, merged[&txn.tid.0]);
+            }
+            let engine = engines[s].as_mut().expect("standby engine present");
+            let shard_id = s as u32;
+            let owns_row = move |t, k| part.owns_row(shard_id, t, k);
+            let owns_mem = move |t, p| part.owns_membership(shard_id, t, p);
+            let scope = ExecScope { remote: None, owns_row: &owns_row, owns_membership: &owns_mem };
+            engine
+                .try_finish_batch(&subs[s], p, scoped.then_some(&scope))
+                .map_err(ReplicaError::Dead)?;
+        }
+        Ok(merged)
     }
 }
 
@@ -910,7 +1236,11 @@ mod tests {
         // First upload of shard 2 fails transiently; the retry succeeds.
         server.arm_shard_faults(
             2,
-            DeviceFaultPlan { transient_ops: [0u64].into_iter().collect(), lost_at_op: None },
+            DeviceFaultPlan {
+                transient_ops: [0u64].into_iter().collect(),
+                lost_at_op: None,
+                recover_at_op: None,
+            },
         );
         server.submit_all(txns);
         assert_lockstep_identical(&mut server, &mut reference);
@@ -951,6 +1281,200 @@ mod tests {
             server.shard_telemetry(1).counter_value(names::FAULT_FALLBACK_ACTIVATIONS),
             1
         );
+        assert_eq!(server.telemetry().gauge_value(names::SHARD_DEGRADED), 1);
+    }
+
+    #[test]
+    fn failover_replaces_the_topology_and_keeps_history_identical() {
+        let (db, txns) = db_and_txns(240, 32);
+        let mut reference = LtpgServer::new(
+            db.deep_clone(),
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 48, pipelined: false, ..ServerConfig::default() },
+        );
+        reference.submit_all(txns.clone());
+        let mut server = sharded(&db, 4, 48);
+        server.attach_replicas(&ltpg_replica::ReplicaConfig::default());
+        server.submit_all(txns);
+        let s = server.tick().unwrap();
+        let r = reference.tick().unwrap();
+        assert_eq!(s.committed, r.committed);
+        // Kill shard 1's device: the Dead heartbeat fences it at the next
+        // batch boundary and the standby row takes over every shard.
+        server.force_shard_failure(1);
+        assert_lockstep_identical(&mut server, &mut reference);
+        assert_slices_match_reference(&server, &reference);
+        assert_eq!(server.stats().failovers, 1);
+        assert_eq!(server.stats().degraded_shards, 0, "failover must not degrade anything");
+        for s in 0..4 {
+            assert!(!server.is_degraded(s), "shard {s} must stay on a GPU engine");
+            assert_eq!(
+                server.shard_telemetry(s).counter_value(names::FAULT_FALLBACK_ACTIVATIONS),
+                0
+            );
+        }
+        let reg = server.telemetry();
+        assert_eq!(reg.counter_value(names::REPLICA_PROMOTIONS), 1);
+        assert_eq!(reg.gauge_value(names::REPLICA_STANDBYS), 0, "the only row was promoted");
+        assert!(reg.histogram(names::REPLICA_FAILOVER_NS).snapshot().count >= 1);
+    }
+
+    #[test]
+    fn mid_batch_device_loss_fails_over_with_replayed_verdicts() {
+        let (db, txns) = db_and_txns(240, 32);
+        let mut reference = LtpgServer::new(
+            db.deep_clone(),
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 48, pipelined: false, ..ServerConfig::default() },
+        );
+        reference.submit_all(txns.clone());
+        let mut server = sharded(&db, 4, 48);
+        server.attach_replicas(&ltpg_replica::ReplicaConfig::default());
+        // Shard 2's device dies mid-prepare of a later batch: the probe at
+        // the boundary saw it healthy, so this exercises the in-flight
+        // promotion path (the batch was logged, the standby replays it and
+        // its merged words decide the batch).
+        server.arm_shard_faults(
+            2,
+            DeviceFaultPlan {
+                transient_ops: std::collections::BTreeSet::new(),
+                lost_at_op: Some(6),
+                recover_at_op: None,
+            },
+        );
+        server.submit_all(txns);
+        assert_lockstep_identical(&mut server, &mut reference);
+        assert_slices_match_reference(&server, &reference);
+        assert_eq!(server.stats().failovers, 1);
+        assert_eq!(server.stats().degraded_shards, 0);
+        assert_eq!(server.telemetry().counter_value(names::REPLICA_PROMOTIONS), 1);
+    }
+
+    #[test]
+    fn heartbeat_false_positive_failover_is_safe() {
+        let (db, txns) = db_and_txns(240, 32);
+        let mut reference = LtpgServer::new(
+            db.deep_clone(),
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 48, pipelined: false, ..ServerConfig::default() },
+        );
+        reference.submit_all(txns.clone());
+        let mut server = sharded(&db, 4, 48);
+        server.attach_replicas(&ltpg_replica::ReplicaConfig {
+            standbys: 1,
+            heartbeat_miss_threshold: 3,
+        });
+        // Drop three consecutive probe rounds: every primary is healthy,
+        // but the monitors fence after the third miss and a (safe) false
+        // positive failover runs — determinism makes it invisible.
+        server.arm_replica_chaos(ReplicaChaos {
+            heartbeat_drop_ticks: [1u64, 2, 3].into_iter().collect(),
+            ..ReplicaChaos::none()
+        });
+        server.submit_all(txns);
+        assert_lockstep_identical(&mut server, &mut reference);
+        assert_slices_match_reference(&server, &reference);
+        assert_eq!(server.stats().failovers, 1);
+        let reg = server.telemetry();
+        assert!(reg.counter_value(names::REPLICA_HEARTBEAT_MISSES) >= 3);
+        assert_eq!(reg.counter_value(names::REPLICA_PROMOTIONS), 1);
+    }
+
+    #[test]
+    fn recovered_device_repromotes_the_degraded_shard() {
+        // Satellite regression: with no standby pool the loss degrades the
+        // shard to its CPU twin, but a timed recovery must bring the
+        // revived device back as the serving engine — and clear the
+        // degraded gauge — rather than leaving the shard benched forever.
+        let (db, txns) = db_and_txns(240, 32);
+        let mut reference = LtpgServer::new(
+            db.deep_clone(),
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 24, pipelined: false, ..ServerConfig::default() },
+        );
+        reference.submit_all(txns.clone());
+        let mut server = sharded(&db, 4, 24);
+        server.arm_replica_chaos(ReplicaChaos {
+            device_recovers_after_batches: Some(2),
+            ..ReplicaChaos::none()
+        });
+        server.submit_all(txns);
+        let s = server.tick().unwrap();
+        let r = reference.tick().unwrap();
+        assert_eq!(s.committed, r.committed);
+        server.force_shard_failure(1);
+        let mut saw_degraded = false;
+        loop {
+            let a = server.tick();
+            let b = reference.tick();
+            saw_degraded |= server.is_degraded(1);
+            match (&a, &b) {
+                (None, None) => break,
+                (Some(sa), Some(sb)) => {
+                    assert_eq!(sa.committed, sb.committed);
+                    assert_eq!(sa.aborted, sb.aborted);
+                }
+                _ => panic!("servers went idle at different ticks"),
+            }
+        }
+        assert!(saw_degraded, "the loss must first degrade shard 1 to its CPU twin");
+        assert!(!server.is_degraded(1), "the revived device must re-promote the shard");
+        assert_eq!(server.stats().degraded_shards, 0, "stats must reflect current topology");
+        assert_eq!(
+            server.telemetry().gauge_value(names::SHARD_DEGRADED),
+            0,
+            "the degraded gauge must clear on re-promotion"
+        );
+        assert_eq!(server.telemetry().counter_value(names::REPLICA_REPROMOTIONS), 1);
+        assert_slices_match_reference(&server, &reference);
+    }
+
+    #[test]
+    fn recovered_device_reenlists_as_a_standby_after_failover() {
+        // With a pool attached the failover heals the topology first; the
+        // later timed recovery re-enlists the revived device as a fresh
+        // standby row instead of touching the serving plane.
+        let (db, txns) = db_and_txns(240, 32);
+        let mut server = sharded(&db, 4, 24);
+        server.attach_replicas(&ltpg_replica::ReplicaConfig::default());
+        server.arm_replica_chaos(ReplicaChaos {
+            device_recovers_after_batches: Some(2),
+            ..ReplicaChaos::none()
+        });
+        server.submit_all(txns);
+        server.tick().unwrap();
+        server.force_shard_failure(3);
+        server.drain(100);
+        assert_eq!(server.stats().failovers, 1);
+        assert_eq!(server.stats().degraded_shards, 0);
+        assert_eq!(server.standbys_alive(), 1, "the revived device must refill the pool");
+        assert_eq!(server.telemetry().counter_value(names::REPLICA_REPROMOTIONS), 1);
+        assert_eq!(server.telemetry().gauge_value(names::REPLICA_STANDBYS), 1);
+    }
+
+    #[test]
+    fn exhausted_pool_still_degrades_to_the_cpu_twin() {
+        let (db, txns) = db_and_txns(240, 32);
+        let mut reference = LtpgServer::new(
+            db.deep_clone(),
+            LtpgConfig::default(),
+            ServerConfig { batch_size: 24, pipelined: false, ..ServerConfig::default() },
+        );
+        reference.submit_all(txns.clone());
+        let mut server = sharded(&db, 4, 24);
+        server.attach_replicas(&ltpg_replica::ReplicaConfig::default());
+        server.submit_all(txns);
+        server.tick().unwrap();
+        reference.tick().unwrap();
+        server.force_shard_failure(0); // consumes the only standby row
+        server.tick().unwrap();
+        reference.tick().unwrap();
+        server.force_shard_failure(2); // pool empty: degrade shard 2
+        assert_lockstep_identical(&mut server, &mut reference);
+        assert_slices_match_reference(&server, &reference);
+        assert_eq!(server.stats().failovers, 1);
+        assert!(server.is_degraded(2));
+        assert_eq!(server.stats().degraded_shards, 1);
         assert_eq!(server.telemetry().gauge_value(names::SHARD_DEGRADED), 1);
     }
 

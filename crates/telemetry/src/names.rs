@@ -166,3 +166,34 @@ pub const SHARD_MERGE_STALL_NS: &str = "shard.merge.stall_ns";
 pub const SHARD_TICK_NS: &str = "shard.tick_ns";
 /// Gauge: shards currently degraded to the CPU fallback.
 pub const SHARD_DEGRADED: &str = "shard.degraded";
+
+// --- replication & failover (`ltpg-replica`) --------------------------------
+
+/// Counter: standbys promoted to primary (failover cutovers).
+pub const REPLICA_PROMOTIONS: &str = "replica.promotions";
+/// Counter: primaries demoted out of service (device loss or health
+/// verdict) plus standby rows dropped as dead.
+pub const REPLICA_DEMOTIONS: &str = "replica.demotions";
+/// Counter: recovered devices re-promoted from CPU fallback back to a GPU
+/// engine, or re-enlisted into the standby pool.
+pub const REPLICA_REPROMOTIONS: &str = "replica.repromotions";
+/// Counter: batches applied to standbys by catch-up replay (both the
+/// steady-state trickle and promotion-time catch-up).
+pub const REPLICA_CATCHUP_BATCHES: &str = "replica.catchup_batches";
+/// Counter: heartbeat probes that went unanswered (dropped or dead).
+pub const REPLICA_HEARTBEAT_MISSES: &str = "replica.heartbeat.misses";
+/// Histogram: simulated ns from loss detection to a promoted standby
+/// ready to serve (catch-up replay included).
+pub const REPLICA_FAILOVER_NS: &str = "replica.failover_ns";
+/// Histogram: per-observation standby lag behind the logged tail, in
+/// batches (recorded once per standby per tick).
+pub const REPLICA_LAG_BATCHES: &str = "replica.lag_batches";
+/// Gauge: standby rows currently alive and promotable.
+pub const REPLICA_STANDBYS: &str = "replica.standbys";
+
+/// Per-standby lag gauge name: `replica.standby.<row>.lag_batches`.
+/// Dynamic (allocated) names are supported by the registry; this helper
+/// keeps the format in one place.
+pub fn replica_standby_lag_gauge(row: usize) -> String {
+    format!("replica.standby.{row}.lag_batches")
+}
