@@ -12,7 +12,8 @@
 //! the fault-free run.
 //!
 //! Writes `results/BENCH_failover.json`; `--smoke` runs a 2-shard
-//! configuration for CI schema validation.
+//! configuration for CI schema validation and writes to the separate
+//! `results/BENCH_failover_smoke.json` so the full-run record survives.
 
 use ltpg::{LtpgConfig, ReplicaChaos, ServerConfig};
 use ltpg_bench::*;
@@ -185,5 +186,5 @@ fn main() {
         ],
         &rows,
     );
-    write_json("BENCH_failover", &points);
+    write_json(&results_name("BENCH_failover", smoke), &points);
 }

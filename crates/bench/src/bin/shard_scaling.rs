@@ -157,5 +157,5 @@ fn main() {
         ],
         &rows,
     );
-    write_json("shard_scaling", &points);
+    write_json(&results_name("shard_scaling", smoke), &points);
 }

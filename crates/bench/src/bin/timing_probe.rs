@@ -22,8 +22,8 @@ fn main() {
             let bs = kind.preferred_batch(16384);
             let batches = (2 * 16384 / bs).clamp(2, 16);
             let out = run_stream(&mut *engine, &mut |n| gen.gen_batch(n), &mut TidGen::new(), batches, bs);
-            println!("{:>8} pct={pct}: mTPS {:>8.2}  commit {:.2}  batch_lat {:>8.0}us  wall {:?}",
-                kind.name(), out.mtps(), out.mean_commit_rate, out.mean_batch_ns/1e3, t0.elapsed());
+            println!("{:>8} pct={pct}: mTPS {:>8.2}  commit {:.2}  crit_lat {:>8.0}us  wall {:?}",
+                kind.name(), out.mtps(), out.mean_commit_rate, latency_us(&out), t0.elapsed());
         }
     }
 }

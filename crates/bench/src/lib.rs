@@ -260,6 +260,25 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     }
 }
 
+/// Result-file stem for a bench binary: smoke runs write to a separate
+/// `<base>_smoke` stem so a CI smoke pass can never clobber a committed
+/// full-run record under `results/`.
+pub fn results_name(base: &str, smoke: bool) -> String {
+    if smoke {
+        format!("{base}_smoke")
+    } else {
+        base.to_string()
+    }
+}
+
+/// The per-batch latency a table or figure should quote for `out`, in
+/// microseconds: the steady-state *critical-path* cost (what one more
+/// batch adds under phase pipelining), not the serial phase sum — see
+/// [`RunOutcome::mean_critical_ns`].
+pub fn latency_us(out: &RunOutcome) -> f64 {
+    out.mean_critical_ns / 1e3
+}
+
 /// Write an experiment record as JSON under `results/`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = std::path::Path::new("results");
@@ -309,6 +328,30 @@ mod tests {
                 kind.name()
             );
         }
+    }
+
+    #[test]
+    fn smoke_results_use_a_separate_stem() {
+        assert_eq!(results_name("shard_scaling", false), "shard_scaling");
+        assert_eq!(results_name("shard_scaling", true), "shard_scaling_smoke");
+        assert_eq!(results_name("BENCH_hotpath", true), "BENCH_hotpath_smoke");
+    }
+
+    #[test]
+    fn quoted_latency_is_the_critical_path() {
+        let out = RunOutcome {
+            batches: 1,
+            admitted: 0,
+            committed: 0,
+            abort_events: 0,
+            sim_ns: 0.0,
+            mean_batch_ns: 9_000.0,
+            mean_critical_ns: 5_000.0,
+            mean_transfer_ns: 0.0,
+            mean_commit_rate: 0.0,
+            wall_ns: 0,
+        };
+        assert!((latency_us(&out) - 5.0).abs() < 1e-12, "must quote critical path, not serial sum");
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub struct TableLog {
     write_mark: Vec<AtomicU64>,
     /// Accesses observed in the current batch (popularity telemetry).
     accesses: AtomicU64,
+    /// `Some(warp_size)` = warp-cooperative probing (WarpSpeed-style): the
+    /// warp ballots over `warp_size` buckets (or slots) at once — one
+    /// cached inspection plus one shuffle step per *group*, instead of one
+    /// inspection per bucket — and the detection scan's slot minimum folds
+    /// through a log₂(warp_size) shuffle reduction. `None` = the original
+    /// serial per-lane loop. Timing-only: claims, registrations and
+    /// minima are identical either way.
+    ballot: Option<usize>,
 }
 
 impl TableLog {
@@ -112,7 +120,20 @@ impl TableLog {
             read_mark: mark(s_h),
             write_mark: mark(s_h),
             accesses: AtomicU64::new(0),
+            ballot: None,
         }
+    }
+
+    /// Switch this log to warp-cooperative (ballot) probing with the given
+    /// warp size. Returns `self` for builder-style use.
+    pub fn with_ballot_probe(mut self, warp_size: usize) -> Self {
+        self.ballot = (warp_size > 1).then_some(warp_size);
+        self
+    }
+
+    /// Whether warp-cooperative probing is active.
+    pub fn uses_ballot_probe(&self) -> bool {
+        self.ballot.is_some()
     }
 
     /// Size a log per the paper's rule. `rows` is the covered table's row
@@ -175,7 +196,20 @@ impl TableLog {
         let start = (h as usize) & self.mask;
         for i in 0..self.s_h {
             let b = (start + i) & self.mask;
-            lane.charge_light(12.0); // probing cost, per bucket inspected (cache-hot log)
+            match self.ballot {
+                // Serial probing: one cached inspection per bucket.
+                None => lane.charge_light(12.0),
+                // Cooperative probing: the warp ballots over `ws` buckets
+                // at once (`__ballot_sync` + `__popc` on the tag matches),
+                // so the inspection cost lands once per group, plus one
+                // shuffle to broadcast the winning bucket.
+                Some(ws) => {
+                    if i % ws == 0 {
+                        lane.charge_light(12.0);
+                        lane.warp_shuffle(1);
+                    }
+                }
+            }
             let tag = &self.tags[b];
             let mut cur = tag.load();
             loop {
@@ -255,8 +289,18 @@ impl TableLog {
         if marks[bucket].load(Ordering::Acquire) != u64::from(epoch) {
             return None;
         }
-        // Scanning the bucket is a streaming read of s_u contiguous words.
-        lane.charge_light(4.0 * self.s_u as f64);
+        match self.ballot {
+            // Scanning the bucket is a streaming read of s_u contiguous
+            // words, one lane walking them serially.
+            None => lane.charge_light(4.0 * self.s_u as f64),
+            // Cooperative scan: the warp strides the bucket `ws` slots per
+            // step, then folds the per-lane minima with a log₂(ws)
+            // shuffle-XOR tree reduction.
+            Some(ws) => {
+                lane.charge_light(4.0 * (self.s_u as f64 / ws as f64).ceil());
+                lane.warp_shuffle((ws as u32).max(2).ilog2());
+            }
+        }
         let base = bucket * self.s_u;
         slots[base..base + self.s_u].iter().filter_map(|s| decode(s.load(), epoch)).min()
     }
@@ -302,6 +346,9 @@ pub struct ConflictLog {
     epoch: u32,
     warp_size: usize,
     dynamic: bool,
+    /// `Some(ws)` = build every constituent log (and every popularity
+    /// rebuild) with warp-cooperative probing.
+    ballot_ws: Option<usize>,
     est_per_table: Vec<usize>,
     rows_per_table: Vec<usize>,
     popular_hint: Vec<bool>,
@@ -318,6 +365,11 @@ impl ConflictLog {
     /// Build logs for every table of `db` per `cfg`.
     pub fn new(db: &Database, cfg: &LtpgConfig) -> Self {
         let warp_size = cfg.device.warp_size as usize;
+        let ballot_ws = cfg.hotpath.warp_probe.then_some(warp_size);
+        let probe = |log: TableLog| match ballot_ws {
+            Some(ws) => log.with_ballot_probe(ws),
+            None => log,
+        };
         let est_txns = cfg.max_batch;
         let est = cfg.max_batch * cfg.est_accesses_per_txn;
         let mut row_logs = Vec::new();
@@ -328,7 +380,7 @@ impl ConflictLog {
             let rows = table.capacity();
             let cells = rows.saturating_mul(table.width() + 1);
             let hint = cfg.premarked_popular.contains(&id);
-            row_logs.push(TableLog::sized_for(
+            row_logs.push(probe(TableLog::sized_for(
                 rows,
                 cells,
                 est_txns,
@@ -336,7 +388,7 @@ impl ConflictLog {
                 warp_size,
                 cfg.opts.dynamic_buckets,
                 hint,
-            ));
+            )));
             est_per_table.push(est);
             rows_per_table.push(rows);
             popular_hint.push(hint);
@@ -351,18 +403,27 @@ impl ConflictLog {
                 (
                     (t, c),
                     // A split log covers exactly one column: cells = rows.
-                    TableLog::sized_for(rows, rows, est_txns, est, warp_size, cfg.opts.dynamic_buckets, hint),
+                    probe(TableLog::sized_for(
+                        rows,
+                        rows,
+                        est_txns,
+                        est,
+                        warp_size,
+                        cfg.opts.dynamic_buckets,
+                        hint,
+                    )),
                 )
             })
             .collect();
         let membership_logs = db
             .iter()
-            .map(|_| TableLog::new(2_048, if cfg.opts.dynamic_buckets { 512 } else { 1 }))
+            .map(|_| probe(TableLog::new(2_048, if cfg.opts.dynamic_buckets { 512 } else { 1 })))
             .collect();
         ConflictLog {
             epoch: 0,
             warp_size,
             dynamic: cfg.opts.dynamic_buckets,
+            ballot_ws,
             est_per_table,
             rows_per_table,
             popular_hint,
@@ -432,7 +493,7 @@ impl ConflictLog {
             let e = observed as f64 / self.rows_per_table[i].max(1) as f64;
             let want_large = e > 1.0 || self.popular_hint[i];
             if want_large != log.is_large() {
-                *log = TableLog::sized_for(
+                let rebuilt = TableLog::sized_for(
                     self.rows_per_table[i],
                     self.rows_per_table[i].saturating_mul(8),
                     observed,
@@ -441,6 +502,11 @@ impl ConflictLog {
                     true,
                     self.popular_hint[i],
                 );
+                // A popularity rebuild must keep the probing mode.
+                *log = match self.ballot_ws {
+                    Some(ws) => rebuilt.with_ballot_probe(ws),
+                    None => rebuilt,
+                };
             }
         }
     }
@@ -669,6 +735,63 @@ mod tests {
             miss > baseline,
             "a one-bucket inspection must charge a probe (miss {miss} vs baseline {baseline})"
         );
+    }
+
+    #[test]
+    fn ballot_probe_is_cheaper_and_decision_identical() {
+        // Warp-cooperative probing is a timing-only change: the same
+        // registrations produce the same minima, but the detect-side scan
+        // of a large bucket charges far fewer cycles.
+        let items: Vec<u64> = (1..=2_048).collect();
+        let run = |ballot: bool| {
+            let device = Device::new(DeviceConfig::default());
+            let mut log = TableLog::new(64, 512);
+            if ballot {
+                log = log.with_ballot_probe(32);
+            }
+            device.launch("mark", &items, |lane, &tid| {
+                let _ = log.register_write(lane, (tid % 8) as i64, tid, 1);
+            });
+            let mins = parking_lot::Mutex::new(Vec::new());
+            let read = device.launch_indexed("read", 64, |lane| {
+                let m = log.min_write(lane, (lane.global_id % 8) as i64, 1);
+                mins.lock().push((lane.global_id, m));
+            });
+            let mut mins = mins.into_inner();
+            mins.sort_unstable();
+            (mins, read.sim_ns)
+        };
+        let (serial_mins, serial_ns) = run(false);
+        let (ballot_mins, ballot_ns) = run(true);
+        assert_eq!(serial_mins, ballot_mins, "probing mode must not change any minimum");
+        assert!(
+            ballot_ns < serial_ns,
+            "cooperative scan must be cheaper: ballot {ballot_ns} vs serial {serial_ns}"
+        );
+    }
+
+    #[test]
+    fn popularity_rebuild_keeps_ballot_probing() {
+        use ltpg_storage::TableBuilder;
+        let mut db = Database::new();
+        let t = db.add_table(TableBuilder::new("H").columns(["a"]).capacity(8).build());
+        let cfg = LtpgConfig { max_batch: 1 << 12, ..LtpgConfig::default() };
+        assert!(cfg.hotpath.warp_probe);
+        let mut log = ConflictLog::new(&db, &cfg);
+        assert!(log.route(t, None).uses_ballot_probe());
+        // The 8-row table starts large (E = 4096/8 ≫ 1). Observe only a
+        // handful of accesses so E drops below 1 and the next begin_batch
+        // rebuilds it standard-sized — the rebuild must keep the probing
+        // mode.
+        let device = Device::new(DeviceConfig::default());
+        log.begin_batch();
+        assert!(log.route(t, None).is_large());
+        device.launch_indexed("trickle", 4, |lane| {
+            let _ = log.register_write(lane, t, None, 1, lane.global_id as u64 + 1);
+        });
+        log.begin_batch();
+        assert!(!log.route(t, None).is_large(), "E < 1 must rebuild standard-sized");
+        assert!(log.route(t, None).uses_ballot_probe(), "rebuild dropped ballot probing");
     }
 
     #[test]

@@ -396,8 +396,13 @@ struct DetectItem {
 /// participant shards before finishing.
 pub struct PreparedBatch {
     lane_order: Vec<usize>,
-    outcomes: Vec<Option<ExecOutcome>>,
+    outcomes: SlotVec<ExecOutcome>,
     flags: Vec<SimAtomicU32>,
+    /// Dense TID array (structure-of-arrays layout): `tids[i]` mirrors
+    /// `batch.txns[i].tid.0` so the detect kernel reads TIDs coalesced
+    /// instead of gathering through the AoS transaction records. Empty
+    /// when [`crate::HotpathOpts::soa_layout`] is off.
+    tids: Vec<u64>,
     detect_items: u64,
     stats: LtpgBatchStats,
     wall_start: Instant,
@@ -435,6 +440,30 @@ impl PreparedBatch {
     }
 }
 
+/// Reusable per-batch buffers held by the engine across batches — the
+/// arena/slab pass. Host-side, the buffers are always recycled (finish
+/// hands them back, prepare resets them in place), so steady-state batches
+/// add zero net heap growth. The simulated-time side is governed by
+/// [`crate::HotpathOpts::arena_reuse`]: with it off the engine charges
+/// [`ltpg_gpu_sim::CostModel::device_alloc_ns`] for every per-batch device
+/// buffer (the pre-optimization engine's cudaMalloc-per-batch behaviour);
+/// with it on, only a high-watermark growth charges.
+#[derive(Default)]
+struct EngineScratch {
+    flags: Vec<SimAtomicU32>,
+    outcomes: SlotVec<ExecOutcome>,
+    items: Vec<DetectItem>,
+    tids: Vec<u64>,
+    committed_flags: Vec<bool>,
+    op_items: Vec<(usize, bool)>,
+    /// High-watermark (in transactions) of the batch-sized device buffers.
+    wm_txns: usize,
+    /// High-watermark (in items) of the detect work-item buffer.
+    wm_items: usize,
+    /// High-watermark (in ops) of the delayed-merge scratch.
+    wm_merge: usize,
+}
+
 /// The LTPG engine. Owns its database (the device-resident snapshot) and
 /// a simulated device.
 pub struct LtpgEngine {
@@ -451,6 +480,8 @@ pub struct LtpgEngine {
     /// Monotonic simulated clock across batches, used to timestamp phase
     /// trace spans.
     sim_clock_ns: f64,
+    /// Recycled per-batch buffers (see [`EngineScratch`]).
+    scratch: EngineScratch,
 }
 
 impl LtpgEngine {
@@ -480,7 +511,16 @@ impl LtpgEngine {
             telemetry.counter(name);
         }
         telemetry.counter(names::FAULT_TRANSIENT_RETRIES);
-        LtpgEngine { db, cfg, device, log, commutative_tables, telemetry, sim_clock_ns: 0.0 }
+        LtpgEngine {
+            db,
+            cfg,
+            device,
+            log,
+            commutative_tables,
+            telemetry,
+            sim_clock_ns: 0.0,
+            scratch: EngineScratch::default(),
+        }
     }
 
     /// Create an engine over `db` that adopts an *existing* device instead
@@ -511,7 +551,16 @@ impl LtpgEngine {
             telemetry.counter(name);
         }
         telemetry.counter(names::FAULT_TRANSIENT_RETRIES);
-        LtpgEngine { db, cfg, device, log, commutative_tables, telemetry, sim_clock_ns: 0.0 }
+        LtpgEngine {
+            db,
+            cfg,
+            device,
+            log,
+            commutative_tables,
+            telemetry,
+            sim_clock_ns: 0.0,
+            scratch: EngineScratch::default(),
+        }
     }
 
     /// The registry this engine publishes to.
@@ -619,6 +668,7 @@ impl LtpgEngine {
         let scoped_store = scope
             .and_then(|s| s.remote)
             .map(|remote| ScopedStore { local: &self.db, remote });
+        let hot = self.cfg.hotpath;
         self.log.begin_batch();
 
         // ---- Upload: transaction parameters to the device. ----
@@ -631,8 +681,30 @@ impl LtpgEngine {
         } else {
             arrival_order(batch)
         };
-        let outcomes: SlotVec<ExecOutcome> = SlotVec::new(n);
-        let flags: Vec<SimAtomicU32> = (0..n).map(|_| SimAtomicU32::new(0)).collect();
+        // Per-batch buffers come from the engine arena: reset in place,
+        // handed back by `try_finish_batch`. Steady-state batches touch no
+        // allocator (see `EngineScratch`).
+        let mut outcomes = std::mem::take(&mut self.scratch.outcomes);
+        outcomes.reset(n);
+        let mut flags = std::mem::take(&mut self.scratch.flags);
+        if flags.len() < n {
+            flags.resize_with(n, || SimAtomicU32::new(0));
+        } else {
+            flags.truncate(n);
+        }
+        for f in &flags {
+            f.store(0);
+        }
+        let mut tids = std::mem::take(&mut self.scratch.tids);
+        tids.clear();
+        if hot.soa_layout {
+            tids.extend(batch.txns.iter().map(|t| t.tid.0));
+        }
+        // With single-scan detection, each execute lane emits its detect
+        // items as it registers — the post-execute rebuild walk (a second
+        // full scan of every access set) disappears.
+        let lane_items: SlotVec<Vec<DetectItem>> =
+            SlotVec::new(if hot.single_scan_detect { n } else { 0 });
 
         let lane_proc_overhead = self.device.cost().proc_overhead_cycles;
         self.device.check_alive()?;
@@ -677,26 +749,71 @@ impl LtpgEngine {
                     // out of buckets — force-abort this transaction (the
                     // TIDs already registered only ever *add* conflicts,
                     // so partial registration is sound).
+                    //
+                    // With single-scan detection on, the lane also emits
+                    // its detect work items here, in the same order the
+                    // canonical `cell_accesses` walk enumerates them — the
+                    // dense item array is the local set laid out linearly,
+                    // so emission rides the recordLS writes already charged.
+                    let mut local_items: Option<Vec<DetectItem>> =
+                        hot.single_scan_detect.then(Vec::new);
                     let mut registered = true;
                     for r in &fx.reads {
                         lane.read_global_random(2);
                         lane.write_global(1);
-                        registered &= if let Some(p) = membership_partition(r.key) {
-                            !owns_mem(r.table, p)
-                                || self.log.register_membership_read(lane, r.table, p, tid)
-                        } else {
-                            !owns_row(r.table, r.key)
-                                || self.log.register_read(lane, r.table, r.col, cell_key(r.key, r.col), tid)
-                        };
+                        if let Some(p) = membership_partition(r.key) {
+                            if owns_mem(r.table, p) {
+                                registered &=
+                                    self.log.register_membership_read(lane, r.table, p, tid);
+                                if let Some(it) = local_items.as_mut() {
+                                    it.push(DetectItem {
+                                        txn: idx as u32,
+                                        table: r.table,
+                                        col: None,
+                                        key: 0,
+                                        is_write: false,
+                                        check_waw: false,
+                                        membership: Some(p),
+                                    });
+                                }
+                            }
+                        } else if owns_row(r.table, r.key) {
+                            let ck = cell_key(r.key, r.col);
+                            registered &= self.log.register_read(lane, r.table, r.col, ck, tid);
+                            if let Some(it) = local_items.as_mut() {
+                                it.push(DetectItem {
+                                    txn: idx as u32,
+                                    table: r.table,
+                                    col: r.col,
+                                    key: ck,
+                                    is_write: false,
+                                    check_waw: false,
+                                    membership: None,
+                                });
+                            }
+                        }
                     }
                     for m in &normal {
                         lane.write_global(2);
                         match m {
                             Mutation::Update { table, key, col, .. } => {
-                                registered &= !owns_row(*table, *key)
-                                    || self.log.register_write(
-                                        lane, *table, Some(*col), cell_key(*key, Some(*col)), tid,
+                                if owns_row(*table, *key) {
+                                    let ck = cell_key(*key, Some(*col));
+                                    registered &= self.log.register_write(
+                                        lane, *table, Some(*col), ck, tid,
                                     );
+                                    if let Some(it) = local_items.as_mut() {
+                                        it.push(DetectItem {
+                                            txn: idx as u32,
+                                            table: *table,
+                                            col: Some(*col),
+                                            key: ck,
+                                            is_write: true,
+                                            check_waw: true,
+                                            membership: None,
+                                        });
+                                    }
+                                }
                             }
                             Mutation::Add { table, key, col, .. } => {
                                 // Non-commutative RMW: reader and writer.
@@ -704,10 +821,23 @@ impl LtpgEngine {
                                 if owns_row(*table, *key) {
                                     registered &= self.log.register_read(lane, *table, Some(*col), ck, tid);
                                     registered &= self.log.register_write(lane, *table, Some(*col), ck, tid);
+                                    if let Some(it) = local_items.as_mut() {
+                                        it.push(DetectItem {
+                                            txn: idx as u32,
+                                            table: *table,
+                                            col: Some(*col),
+                                            key: ck,
+                                            is_write: true,
+                                            check_waw: true,
+                                            membership: None,
+                                        });
+                                    }
                                 }
                             }
                             Mutation::Insert { table, key, .. } => {
-                                if owns_row(*table, *key) {
+                                let or = owns_row(*table, *key);
+                                let om = owns_mem(*table, *key >> MEMBERSHIP_PARTITION_SHIFT);
+                                if or {
                                     registered &= self.log.register_write(
                                         lane, *table, None, cell_key(*key, None), tid,
                                     );
@@ -715,37 +845,109 @@ impl LtpgEngine {
                                 // Membership changed: ordered scanners of
                                 // this key partition must see it (phantom
                                 // guard).
-                                if owns_mem(*table, *key >> MEMBERSHIP_PARTITION_SHIFT) {
+                                if om {
                                     registered &= self.log.register_membership_write(
                                         lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
                                     );
+                                }
+                                if let Some(it) = local_items.as_mut() {
+                                    if or {
+                                        it.push(DetectItem {
+                                            txn: idx as u32,
+                                            table: *table,
+                                            col: None,
+                                            key: cell_key(*key, None),
+                                            is_write: true,
+                                            check_waw: true,
+                                            membership: None,
+                                        });
+                                    }
+                                    if om {
+                                        it.push(DetectItem {
+                                            txn: idx as u32,
+                                            table: *table,
+                                            col: None,
+                                            key: 0,
+                                            is_write: true,
+                                            check_waw: false,
+                                            membership: Some(*key >> MEMBERSHIP_PARTITION_SHIFT),
+                                        });
+                                    }
                                 }
                             }
                             Mutation::Delete { table, key } => {
                                 // A delete writes the existence cell and
                                 // every column cell (readers of any cell
                                 // must order before it).
-                                if owns_row(*table, *key) {
+                                let or = owns_row(*table, *key);
+                                let om = owns_mem(*table, *key >> MEMBERSHIP_PARTITION_SHIFT);
+                                let width = self.db.table(*table).width() as u16;
+                                if or {
                                     registered &= self.log.register_write(
                                         lane, *table, None, cell_key(*key, None), tid,
                                     );
-                                    for c in 0..self.db.table(*table).width() as u16 {
+                                    for c in 0..width {
                                         let col = ColId(c);
                                         registered &= self.log.register_write(
                                             lane, *table, Some(col), cell_key(*key, Some(col)), tid,
                                         );
                                     }
                                 }
-                                if owns_mem(*table, *key >> MEMBERSHIP_PARTITION_SHIFT) {
+                                if om {
                                     registered &= self.log.register_membership_write(
                                         lane, *table, *key >> MEMBERSHIP_PARTITION_SHIFT, tid,
                                     );
+                                }
+                                if let Some(it) = local_items.as_mut() {
+                                    // Canonical `cell_accesses` order:
+                                    // existence, membership, then columns.
+                                    if or {
+                                        it.push(DetectItem {
+                                            txn: idx as u32,
+                                            table: *table,
+                                            col: None,
+                                            key: cell_key(*key, None),
+                                            is_write: true,
+                                            check_waw: true,
+                                            membership: None,
+                                        });
+                                    }
+                                    if om {
+                                        it.push(DetectItem {
+                                            txn: idx as u32,
+                                            table: *table,
+                                            col: None,
+                                            key: 0,
+                                            is_write: true,
+                                            check_waw: false,
+                                            membership: Some(*key >> MEMBERSHIP_PARTITION_SHIFT),
+                                        });
+                                    }
+                                    if or {
+                                        for c in 0..width {
+                                            let col = ColId(c);
+                                            it.push(DetectItem {
+                                                txn: idx as u32,
+                                                table: *table,
+                                                col: Some(col),
+                                                key: cell_key(*key, Some(col)),
+                                                is_write: true,
+                                                check_waw: true,
+                                                membership: None,
+                                            });
+                                        }
+                                    }
                                 }
                             }
                         }
                     }
                     if !registered {
+                        // Force-abort: this lane's items must not reach the
+                        // detect kernel (matching the rebuild walk, which
+                        // skips LOG_FULL lanes).
                         lane.atomic_or_u32(&flags[idx], flag::LOG_FULL);
+                    } else if let Some(it) = local_items {
+                        lane_items.set(idx, it);
                     }
                     outcomes.set(idx, ExecOutcome { normal, delayed, effects: fx });
                 }
@@ -756,16 +958,126 @@ impl LtpgEngine {
         stats.sync_ns += self.device.cost().device_sync_ns;
 
         // ---- Phase 2: conflict detection. ----
-        let outcomes = outcomes.into_inner();
-        let mut items: Vec<DetectItem> = Vec::new();
-        for (idx, out) in outcomes.iter().enumerate() {
-            let Some(out) = out else { continue };
-            if flags[idx].load() & (flag::USER | flag::FORCED | flag::LOG_FULL) != 0 {
+        let mut items = std::mem::take(&mut self.scratch.items);
+        items.clear();
+        if hot.single_scan_detect {
+            // Items were emitted inline during execute (same canonical
+            // order as the walk below); just flatten in lane index order.
+            for per in lane_items.into_inner().into_iter().flatten() {
+                items.extend(per);
+            }
+        } else {
+            self.rebuild_detect_items(&outcomes, &flags, &owns_row, &owns_mem, &mut items);
+        }
+        if self.cfg.opts.warp_division {
+            // rcheck warps and wcheck warps (Algorithm 1 lines 13–16).
+            items.sort_by_key(|i| i.is_write);
+        }
+
+        // ---- Simulated device-side buffer (re)allocation. ----
+        // Without arena reuse, every batch cudaMallocs its device buffers
+        // afresh (lane order, flag words, outcome slots, detect items, and
+        // the SoA TID array when enabled). With reuse, only a high-watermark
+        // growth allocates — zero events in steady state.
+        let alloc_events: u64 = if hot.arena_reuse {
+            let mut e = 0u64;
+            if n > self.scratch.wm_txns {
+                self.scratch.wm_txns = n;
+                e += 3 + u64::from(hot.soa_layout);
+            }
+            if items.len() > self.scratch.wm_items {
+                self.scratch.wm_items = items.len();
+                e += 1;
+            }
+            e
+        } else {
+            4 + u64::from(hot.soa_layout)
+        };
+        if alloc_events > 0 {
+            let ns = alloc_events as f64 * self.device.cost().device_alloc_ns;
+            stats.alloc_events += alloc_events;
+            stats.alloc_ns += ns;
+            self.device.advance(ns);
+        }
+        self.device.check_alive()?;
+        let detect_report = self.device.launch("conflict_d", &items, |lane, item| {
+            lane.branch(u32::from(item.is_write));
+            // Work-item fetch: with single-scan detection the items sit in
+            // the dense array execute emitted (one coalesced word); the
+            // pre-split engine re-gathers them from the scattered
+            // per-transaction access sets.
+            if hot.single_scan_detect {
+                lane.read_global(1);
+            } else {
+                lane.read_global_random(2);
+            }
+            // TID fetch: coalesced from the SoA TID array, or gathered
+            // through the AoS transaction record.
+            let tid = if hot.soa_layout {
+                lane.read_global(1);
+                tids[item.txn as usize]
+            } else {
+                lane.read_global_random(1);
+                batch.txns[item.txn as usize].tid.0
+            };
+            let min_w = |lane: &mut _| match item.membership {
+                Some(p) => self.log.min_membership_write(lane, item.table, p),
+                None => self.log.min_write(lane, item.table, item.col, item.key),
+            };
+            let min_r = |lane: &mut _| match item.membership {
+                Some(p) => self.log.min_membership_read(lane, item.table, p),
+                None => self.log.min_read(lane, item.table, item.col, item.key),
+            };
+            if item.is_write {
+                if item.check_waw && min_w(lane).is_some_and(|m| m < tid) {
+                    lane.atomic_or_u32(&flags[item.txn as usize], flag::WAW);
+                }
+                if min_r(lane).is_some_and(|m| m < tid) {
+                    lane.atomic_or_u32(&flags[item.txn as usize], flag::WAR);
+                }
+            } else if min_w(lane).is_some_and(|m| m < tid) {
+                lane.atomic_or_u32(&flags[item.txn as usize], flag::RAW);
+            }
+        });
+        stats.detect_ns = detect_report.sim_ns;
+        self.device.synchronize();
+        stats.sync_ns += self.device.cost().device_sync_ns;
+
+        // Detect items are consumed; recycle the buffer now.
+        stats.atomic_ops = exec_report.atomic_ops + detect_report.atomic_ops;
+        stats.atomic_serial_depth =
+            exec_report.atomic_serial_depth + detect_report.atomic_serial_depth;
+        stats.divergent_warps = exec_report.divergent_warps + detect_report.divergent_warps;
+        stats.page_faults = exec_report.page_faults + detect_report.page_faults;
+        let detect_items = items.len() as u64;
+        items.clear();
+        self.scratch.items = items;
+
+        Ok(PreparedBatch { lane_order, outcomes, flags, tids, detect_items, stats, wall_start })
+    }
+
+    /// The pre-split double scan: re-walk every access set after execute to
+    /// build the detect work items. Kept (behind
+    /// `HotpathOpts::single_scan_detect == false`) as the reference path the
+    /// single-scan emission is measured against; both produce the same item
+    /// sequence.
+    ///
+    /// One detect item per *owned* registered access, enumerated by the
+    /// shared canonical walk so registration, detection and the sharded CPU
+    /// twin always agree on the cell set.
+    fn rebuild_detect_items(
+        &self,
+        outcomes: &SlotVec<ExecOutcome>,
+        flags: &[SimAtomicU32],
+        owns_row: &dyn Fn(TableId, i64) -> bool,
+        owns_mem: &dyn Fn(TableId, i64) -> bool,
+        items: &mut Vec<DetectItem>,
+    ) {
+        for (idx, f) in flags.iter().enumerate() {
+            let Some(out) = outcomes.peek(idx) else { continue };
+            if f.load() & (flag::USER | flag::FORCED | flag::LOG_FULL) != 0 {
                 continue;
             }
-            // One detect item per *owned* registered access, enumerated by
-            // the shared canonical walk so registration, detection and the
-            // sharded CPU twin always agree on the cell set.
             for a in cell_accesses(&self.db, &out.effects, &out.normal) {
                 match a {
                     CellAccess::Read { table, row, col, cell } => {
@@ -836,51 +1148,6 @@ impl LtpgEngine {
                 }
             }
         }
-        if self.cfg.opts.warp_division {
-            // rcheck warps and wcheck warps (Algorithm 1 lines 13–16).
-            items.sort_by_key(|i| i.is_write);
-        }
-        self.device.check_alive()?;
-        let detect_report = self.device.launch("conflict_d", &items, |lane, item| {
-            lane.branch(u32::from(item.is_write));
-            let tid = batch.txns[item.txn as usize].tid.0;
-            let min_w = |lane: &mut _| match item.membership {
-                Some(p) => self.log.min_membership_write(lane, item.table, p),
-                None => self.log.min_write(lane, item.table, item.col, item.key),
-            };
-            let min_r = |lane: &mut _| match item.membership {
-                Some(p) => self.log.min_membership_read(lane, item.table, p),
-                None => self.log.min_read(lane, item.table, item.col, item.key),
-            };
-            if item.is_write {
-                if item.check_waw && min_w(lane).is_some_and(|m| m < tid) {
-                    lane.atomic_or_u32(&flags[item.txn as usize], flag::WAW);
-                }
-                if min_r(lane).is_some_and(|m| m < tid) {
-                    lane.atomic_or_u32(&flags[item.txn as usize], flag::WAR);
-                }
-            } else if min_w(lane).is_some_and(|m| m < tid) {
-                lane.atomic_or_u32(&flags[item.txn as usize], flag::RAW);
-            }
-        });
-        stats.detect_ns = detect_report.sim_ns;
-        self.device.synchronize();
-        stats.sync_ns += self.device.cost().device_sync_ns;
-
-        stats.atomic_ops = exec_report.atomic_ops + detect_report.atomic_ops;
-        stats.atomic_serial_depth =
-            exec_report.atomic_serial_depth + detect_report.atomic_serial_depth;
-        stats.divergent_warps = exec_report.divergent_warps + detect_report.divergent_warps;
-        stats.page_faults = exec_report.page_faults + detect_report.page_faults;
-
-        Ok(PreparedBatch {
-            lane_order,
-            outcomes,
-            flags,
-            detect_items: items.len() as u64,
-            stats,
-            wall_start,
-        })
     }
 
     /// Second half of a batch: write-back of committing transactions, the
@@ -903,9 +1170,17 @@ impl LtpgEngine {
                 }
             }
         }
-        let PreparedBatch { lane_order, outcomes, flags, detect_items, mut stats, wall_start } =
-            prepared;
+        let PreparedBatch {
+            lane_order,
+            mut outcomes,
+            flags,
+            mut tids,
+            detect_items,
+            mut stats,
+            wall_start,
+        } = prepared;
         let n = batch.len();
+        let hot = self.cfg.hotpath;
         let owns_row = |t: TableId, k: i64| match scope {
             None => true,
             Some(s) => (s.owns_row)(t, k),
@@ -918,11 +1193,18 @@ impl LtpgEngine {
         let wb_report = self.device.launch("writeback", &lane_order, |lane, &idx| {
             let txn = &batch.txns[idx];
             lane.branch(u32::from(txn.proc.0));
+            // Flag-word fetch: one coalesced word from the dense SoA flag
+            // array, or a gather through the AoS transaction record.
+            if hot.soa_layout {
+                lane.read_global(1);
+            } else {
+                lane.read_global_random(1);
+            }
             let f = flags[idx].load();
             if !commit_ok(f) {
                 return;
             }
-            let Some(out) = &outcomes[idx] else { return };
+            let Some(out) = outcomes.peek(idx) else { return };
             for m in &out.normal {
                 let (mt, mk) = match m {
                     Mutation::Update { table, key, .. }
@@ -982,14 +1264,16 @@ impl LtpgEngine {
         stats.writeback_ns = wb_report.sim_ns;
 
         // ---- Delayed-update merge (paper Example 3). ----
-        let committed_flags: Vec<bool> = (0..n).map(|i| commit_ok(flags[i].load())).collect();
+        let mut committed_flags = std::mem::take(&mut self.scratch.committed_flags);
+        committed_flags.clear();
+        committed_flags.extend((0..n).map(|i| commit_ok(flags[i].load())));
         let mut merge_map: std::collections::HashMap<(TableId, ColId, i64), (i64, u32)> =
             std::collections::HashMap::new();
-        for (idx, out) in outcomes.iter().enumerate() {
-            if !committed_flags[idx] {
+        for (idx, committed) in committed_flags.iter().enumerate().take(n) {
+            if !committed {
                 continue;
             }
-            let Some(out) = out else { continue };
+            let Some(out) = outcomes.peek(idx) else { continue };
             for &(t, c, k, d) in &out.delayed {
                 if !owns_row(t, k) {
                     continue;
@@ -1003,16 +1287,36 @@ impl LtpgEngine {
         let mut merged: Vec<((TableId, ColId, i64), i64, u32)> =
             merge_map.into_iter().map(|(cell, (sum, cnt))| (cell, sum, cnt)).collect();
         merged.sort_unstable_by_key(|(cell, ..)| *cell);
-        if !merged.is_empty() {
-            // One lane per delayed *op* (grouped by cell into warps, as the
-            // paper's Example 3 assigns same-row ops to one warp); the
-            // cell's last lane writes the merged result.
-            let mut op_items: Vec<(usize, bool)> = Vec::new(); // (cell idx, is_last)
-            for (ci, (_, _, cnt)) in merged.iter().enumerate() {
-                for j in 0..*cnt {
-                    op_items.push((ci, j + 1 == *cnt));
-                }
+        // One lane per delayed *op* (grouped by cell into warps, as the
+        // paper's Example 3 assigns same-row ops to one warp); the cell's
+        // last lane writes the merged result. `(cell idx, is_last)`.
+        let mut op_items = std::mem::take(&mut self.scratch.op_items);
+        op_items.clear();
+        for (ci, (_, _, cnt)) in merged.iter().enumerate() {
+            for j in 0..*cnt {
+                op_items.push((ci, j + 1 == *cnt));
             }
+        }
+        // Simulated buffer allocation for the finish half: the committed-
+        // flag words and the merge scratch, cudaMalloc'd per batch without
+        // arena reuse, watermark-gated with it.
+        let alloc_events: u64 = if hot.arena_reuse {
+            if op_items.len() > self.scratch.wm_merge {
+                self.scratch.wm_merge = op_items.len();
+                1
+            } else {
+                0
+            }
+        } else {
+            2
+        };
+        if alloc_events > 0 {
+            let ns = alloc_events as f64 * self.device.cost().device_alloc_ns;
+            stats.alloc_events += alloc_events;
+            stats.alloc_ns += ns;
+            self.device.advance(ns);
+        }
+        if !op_items.is_empty() {
             let merge_report = self.device.launch("delayed_merge", &op_items, |lane, &(ci, is_last)| {
                 let ((t, c, k), sum, cnt) = &merged[ci];
                 // Intra-warp broadcast/merge: log2 steps over the ops that
@@ -1037,9 +1341,8 @@ impl LtpgEngine {
         stats.bytes_d2h = match self.cfg.sync {
             SyncMode::RwSet => {
                 n as u64
-                    + outcomes
-                        .iter()
-                        .flatten()
+                    + (0..n)
+                        .filter_map(|i| outcomes.peek(i))
                         .map(|o| o.effects.rw_set_bytes())
                         .sum::<u64>()
             }
@@ -1052,11 +1355,15 @@ impl LtpgEngine {
         // dominates. Device loss still propagates.
         stats.d2h_ns = loop {
             match self.device.try_d2h(stats.bytes_d2h) {
-                Ok(ns) => break ns,
+                Ok(ns) => break ns + stats.d2h_retries as f64 * self.device.cost().pcie_latency_ns,
                 Err(e @ DeviceError::DeviceLost { .. }) => return Err(e),
                 Err(DeviceError::TransientTransfer { .. }) => {
                     // Count on the registry immediately — a later device
                     // loss must not erase retries that already happened.
+                    // Each wasted round trip already charged one PCIe
+                    // latency on the device clock; the `break` arm folds
+                    // the same amount into the phase's simulated time so
+                    // histogram, critical path and device agree.
                     stats.d2h_retries += 1;
                     self.telemetry.counter(names::FAULT_TRANSIENT_RETRIES).inc();
                 }
@@ -1090,6 +1397,17 @@ impl LtpgEngine {
             wall_ns: wall_start.elapsed().as_nanos() as u64,
             semantics: ltpg_txn::engine::CommitSemantics::SnapshotBatch,
         };
+        // Hand the batch buffers back to the arena. `reset(0)` drops the
+        // held outcomes (their inner vectors are per-transaction and not
+        // reusable) but keeps every outer allocation.
+        outcomes.reset(0);
+        self.scratch.outcomes = outcomes;
+        self.scratch.flags = flags;
+        tids.clear();
+        self.scratch.tids = tids;
+        self.scratch.committed_flags = committed_flags;
+        op_items.clear();
+        self.scratch.op_items = op_items;
         Ok(ReportWithStats { report, stats })
     }
 
@@ -1147,6 +1465,7 @@ impl LtpgEngine {
         let trace = reg.trace();
         let mut at = self.sim_clock_ns;
         for (name, dur) in [
+            ("ltpg.alloc", stats.alloc_ns),
             ("ltpg.h2d", stats.h2d_ns),
             ("ltpg.execute", stats.execute_ns),
             ("ltpg.detect", stats.detect_ns),
@@ -1604,5 +1923,160 @@ mod tests {
         };
         assert_eq!(mk(true), 0);
         assert!(mk(false) > 0);
+    }
+
+    /// Satellite regression: a retried D2H transfer must charge one PCIe
+    /// latency per wasted round trip in the *phase stats* (simulated time)
+    /// and in the *device telemetry*, and the two views must agree.
+    #[test]
+    fn d2h_retry_charges_pcie_latency_in_stats_and_telemetry() {
+        use ltpg_gpu_sim::DeviceFaultPlan;
+        let (db, t) = small_db();
+        let reg = ltpg_telemetry::Registry::new_shared();
+        let mut engine = LtpgEngine::with_telemetry(db, LtpgConfig::default(), reg);
+        // Engine fault ordinals within one batch: h2d=0, the three
+        // check_alive probes=1..=3, d2h=4. Transients at {4, 5} force the
+        // download to fail twice and succeed on the third attempt.
+        engine.device().arm_faults(DeviceFaultPlan {
+            transient_ops: [4u64, 5].into_iter().collect(),
+            lost_at_op: None,
+            recover_at_op: None,
+        });
+        let txns: Vec<Txn> =
+            (0..16).map(|k| Txn::new(ProcId(0), vec![], vec![write(t, k, k + 1)])).collect();
+        let mut gen = TidGen::new();
+        let batch = Batch::assemble(vec![], txns, &mut gen);
+        let rws = engine.try_execute_batch_report(&batch).unwrap();
+        assert_eq!(rws.report.committed.len(), 16);
+        assert_eq!(rws.stats.d2h_retries, 2);
+
+        let cost = engine.device().cost();
+        let expect = cost.transfer_ns(rws.stats.bytes_d2h) + 2.0 * cost.pcie_latency_ns;
+        assert!(
+            (rws.stats.d2h_ns - expect).abs() < 1e-6,
+            "d2h_ns {} must include both wasted round trips (expected {expect})",
+            rws.stats.d2h_ns
+        );
+        // Telemetry agrees: the device's transfer histogram saw four
+        // transfers (upload, two failed downloads, final download) whose
+        // total time is exactly the two phase stats.
+        let snap = engine
+            .telemetry()
+            .histogram(ltpg_telemetry::names::GPU_TRANSFER_NS)
+            .snapshot();
+        assert_eq!(snap.count, 4);
+        let phases = rws.stats.h2d_ns + rws.stats.d2h_ns;
+        // The histogram stores integer nanoseconds: one rounding step per
+        // recorded transfer.
+        assert!(
+            (snap.sum as f64 - phases).abs() < 4.0,
+            "device telemetry ({}) and phase stats ({phases}) disagree",
+            snap.sum
+        );
+        assert_eq!(
+            engine.telemetry().counter_value(ltpg_telemetry::names::FAULT_TRANSIENT_RETRIES),
+            2
+        );
+    }
+
+    /// Tentpole invariant: every hot-path toggle is decision-neutral — the
+    /// committed set and the final database state are bit-identical with
+    /// any combination — while the shipping configuration is strictly
+    /// faster than the pre-optimization engine on simulated time.
+    #[test]
+    fn hotpath_toggles_are_decision_neutral_and_faster() {
+        use crate::config::HotpathOpts;
+        let mk = |hotpath: HotpathOpts| {
+            let (db, t) = small_db();
+            let mut cfg = LtpgConfig { hotpath, ..LtpgConfig::default() };
+            cfg.delayed_cols.insert((t, ColId(1)));
+            // A contended mix exercising every detect-item shape: reads,
+            // updates, RMWs, delayed adds, inserts and deletes.
+            let txns: Vec<Txn> = (0..240)
+                .map(|i| {
+                    let ops = match i % 5 {
+                        0 => vec![read(t, i % 30, 0), write(t, (i * 7) % 40, i)],
+                        1 => vec![write(t, i % 25, i)],
+                        2 => vec![add(t, 7, i + 1)],
+                        3 => vec![IrOp::Insert {
+                            table: t,
+                            key: Src::Const(1_000 + i),
+                            values: vec![Src::Const(i), Src::Const(0)],
+                        }],
+                        _ => vec![IrOp::Delete { table: t, key: Src::Const(50 + (i % 20)) }],
+                    };
+                    Txn::new(ProcId((i % 3) as u16), vec![], ops)
+                })
+                .collect();
+            let (engine, _b, report, _p) = run(db, cfg, txns);
+            (report.committed.clone(), engine.database().state_digest(), report.sim_ns)
+        };
+        let (c_after, d_after, ns_after) = mk(HotpathOpts::all());
+        let (c_before, d_before, ns_before) = mk(HotpathOpts::none());
+        assert_eq!(c_after, c_before, "hot-path toggles changed the committed set");
+        assert_eq!(d_after, d_before, "hot-path toggles changed the final state");
+        assert!(
+            ns_after < ns_before,
+            "shipping config ({ns_after} ns) must beat the pre-optimization engine ({ns_before} ns)"
+        );
+        // Each toggle is individually neutral too.
+        for single in [
+            HotpathOpts { arena_reuse: true, ..HotpathOpts::none() },
+            HotpathOpts { soa_layout: true, ..HotpathOpts::none() },
+            HotpathOpts { warp_probe: true, ..HotpathOpts::none() },
+            HotpathOpts { single_scan_detect: true, ..HotpathOpts::none() },
+        ] {
+            let (c, d, _) = mk(single);
+            assert_eq!(c, c_before, "toggle {single:?} changed the committed set");
+            assert_eq!(d, d_before, "toggle {single:?} changed the final state");
+        }
+    }
+
+    /// Tentpole regression: once the arena has warmed up (first batch), a
+    /// steady-state batch allocates nothing — zero alloc events, zero
+    /// alloc time — and the telemetry counter goes flat. Without arena
+    /// reuse every batch keeps paying.
+    #[test]
+    fn steady_state_batches_charge_zero_alloc_events() {
+        let run_batches = |hotpath: crate::config::HotpathOpts| {
+            let (db, t) = small_db();
+            let cfg = LtpgConfig { hotpath, ..LtpgConfig::default() };
+            let reg = ltpg_telemetry::Registry::new_shared();
+            let mut engine = LtpgEngine::with_telemetry(db, cfg, reg);
+            let mut gen = TidGen::new();
+            let mut per_batch = Vec::new();
+            for round in 0..4 {
+                let txns: Vec<Txn> = (0..64)
+                    .map(|i| {
+                        Txn::new(
+                            ProcId(0),
+                            vec![],
+                            vec![read(t, (round + i) % 30, 0), write(t, (i * 3) % 90, i)],
+                        )
+                    })
+                    .collect();
+                let batch = Batch::assemble(vec![], txns, &mut gen);
+                let rws = engine.execute_batch_report(&batch);
+                per_batch.push((rws.stats.alloc_events, rws.stats.alloc_ns));
+            }
+            let counter =
+                engine.telemetry().counter_value(ltpg_telemetry::names::LTPG_ALLOC_EVENTS);
+            (per_batch, counter)
+        };
+
+        let (reused, counter) = run_batches(crate::config::HotpathOpts::all());
+        assert!(reused[0].0 > 0, "warm-up batch must charge the initial allocations");
+        for (events, ns) in &reused[1..] {
+            assert_eq!(*events, 0, "steady-state batch allocated");
+            assert_eq!(*ns, 0.0, "steady-state batch charged alloc time");
+        }
+        assert_eq!(counter, reused[0].0, "telemetry watermark must stop at warm-up");
+
+        let (fresh, fresh_counter) = run_batches(crate::config::HotpathOpts::none());
+        for (events, ns) in &fresh {
+            assert_eq!(*events, 6, "pre-optimization engine allocates every batch");
+            assert!(*ns > 0.0);
+        }
+        assert_eq!(fresh_counter, 24);
     }
 }

@@ -71,7 +71,7 @@ pub mod server;
 pub mod stats;
 mod util;
 
-pub use config::{LtpgConfig, OptFlags, SyncMode};
+pub use config::{HotpathOpts, LtpgConfig, OptFlags, SyncMode};
 pub use conflict::ConflictLog;
 pub use engine::{
     cell_accesses, cell_key, commit_decision, flag, stage_effects, CellAccess, ExecScope,

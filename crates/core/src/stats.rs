@@ -25,6 +25,11 @@ pub struct LtpgBatchStats {
     pub sync_ns: f64,
     /// D2H download of results / read-write sets, ns.
     pub d2h_ns: f64,
+    /// Per-batch device buffer (re)allocation, ns (cudaMalloc-class).
+    /// Zero in steady state once the engine's arena reuse warms up.
+    pub alloc_ns: f64,
+    /// Buffer allocations not absorbed by the reusable arena this batch.
+    pub alloc_events: u64,
     /// Bytes uploaded.
     pub bytes_h2d: u64,
     /// Bytes downloaded.
@@ -57,12 +62,19 @@ impl LtpgBatchStats {
     /// an overstatement of steady-state latency when the engine pipelines
     /// transfers against compute — use [`Self::critical_path_ns`] there.
     pub fn total_ns(&self) -> f64 {
-        self.h2d_ns + self.execute_ns + self.detect_ns + self.writeback_ns + self.sync_ns + self.d2h_ns
+        self.h2d_ns
+            + self.execute_ns
+            + self.detect_ns
+            + self.writeback_ns
+            + self.sync_ns
+            + self.d2h_ns
+            + self.alloc_ns
     }
 
-    /// Compute-only portion: the three kernels plus synchronization.
+    /// Compute-only portion: the three kernels plus synchronization and
+    /// any device-allocation stalls (both serialize against the kernels).
     pub fn compute_ns(&self) -> f64 {
-        self.execute_ns + self.detect_ns + self.writeback_ns + self.sync_ns
+        self.execute_ns + self.detect_ns + self.writeback_ns + self.sync_ns + self.alloc_ns
     }
 
     /// Steady-state per-batch latency under the three-stage transfer
@@ -88,6 +100,8 @@ impl LtpgBatchStats {
             .record_ns(self.writeback_ns);
         reg.histogram(names::LTPG_PHASE_SYNC_NS).record_ns(self.sync_ns);
         reg.histogram(names::LTPG_PHASE_D2H_NS).record_ns(self.d2h_ns);
+        reg.histogram(names::LTPG_PHASE_ALLOC_NS).record_ns(self.alloc_ns);
+        reg.counter(names::LTPG_ALLOC_EVENTS).add(self.alloc_events);
         reg.histogram(names::LTPG_BATCH_TOTAL_NS).record_ns(self.total_ns());
         reg.histogram(names::LTPG_BATCH_CRITICAL_NS)
             .record_ns(self.critical_path_ns());
@@ -155,13 +169,15 @@ mod tests {
             writeback_ns: 4.0,
             sync_ns: 5.0,
             d2h_ns: 6.0,
+            alloc_ns: 0.5,
             ..LtpgBatchStats::default()
         };
-        assert!((s.total_ns() - 21.0).abs() < 1e-12);
+        assert!((s.total_ns() - 21.5).abs() < 1e-12);
         assert!((s.transfer_ns() - 7.0).abs() < 1e-12);
-        // Compute (2+3+4+5 = 14) dominates both transfers, so the pipelined
-        // critical path is the compute stage — strictly below the serial sum.
-        assert!((s.critical_path_ns() - 14.0).abs() < 1e-12);
+        // Compute (2+3+4+5+0.5 = 14.5) dominates both transfers, so the
+        // pipelined critical path is the compute stage — strictly below
+        // the serial sum.
+        assert!((s.critical_path_ns() - 14.5).abs() < 1e-12);
         assert!(s.critical_path_ns() < s.total_ns());
     }
 

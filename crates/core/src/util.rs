@@ -14,10 +14,38 @@ pub(crate) struct SlotVec<T> {
 // `get` after the kernel barrier.
 unsafe impl<T: Send> Sync for SlotVec<T> {}
 
+impl<T> Default for SlotVec<T> {
+    fn default() -> Self {
+        SlotVec { slots: Vec::new() }
+    }
+}
+
 impl<T> SlotVec<T> {
     /// Create `n` empty slots.
     pub fn new(n: usize) -> Self {
         SlotVec { slots: (0..n).map(|_| UnsafeCell::new(None)).collect() }
+    }
+
+    /// Reset to `n` empty slots, dropping any held values but keeping the
+    /// backing allocation — the arena-reuse path: a recycled `SlotVec`
+    /// never reallocates while `n` stays within its high-watermark.
+    pub fn reset(&mut self, n: usize) {
+        for c in &mut self.slots {
+            *c.get_mut() = None;
+        }
+        if self.slots.len() < n {
+            self.slots.resize_with(n, || UnsafeCell::new(None));
+        } else {
+            self.slots.truncate(n);
+        }
+    }
+
+    /// Read slot `i` through a shared reference. Caller contract: all
+    /// writers finished (the kernel barrier passed) — concurrent readers
+    /// are fine, concurrent `set` is not.
+    pub fn peek(&self, i: usize) -> Option<&T> {
+        // SAFETY: post-barrier read-only access; see contract above.
+        unsafe { (*self.slots[i].get()).as_ref() }
     }
 
     /// Fill slot `i`. Caller contract: no two threads pass the same `i`.
@@ -73,6 +101,24 @@ mod tests {
         sv.set(1, "x");
         assert_eq!(sv.get(0), None);
         assert_eq!(sv.get(1), Some(&"x"));
+        assert_eq!(sv.peek(1), Some(&"x"));
         assert_eq!(sv.len(), 3);
+    }
+
+    #[test]
+    fn reset_recycles_without_reallocating() {
+        let mut sv: SlotVec<String> = SlotVec::new(8);
+        sv.set(3, "held".to_string());
+        let base = sv.slots.as_ptr();
+        sv.reset(8);
+        assert_eq!(sv.peek(3), None, "reset must drop held values");
+        assert_eq!(sv.slots.as_ptr(), base, "same-size reset must not reallocate");
+        // Shrinking keeps the allocation too; regrowing within the old
+        // watermark reuses it.
+        sv.reset(2);
+        assert_eq!(sv.len(), 2);
+        sv.reset(8);
+        assert_eq!(sv.slots.as_ptr(), base);
+        assert_eq!(sv.len(), 8);
     }
 }

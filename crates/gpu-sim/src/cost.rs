@@ -41,6 +41,12 @@ pub struct CostModel {
     pub proc_overhead_cycles: f64,
     /// Cycles for one warp-shuffle / intra-warp broadcast step.
     pub warp_shuffle_cycles: f64,
+    /// Cost of one device-side buffer allocation/free pair that cannot be
+    /// served from a pre-grown pool (cudaMalloc-class: implies a device
+    /// synchronization), nanoseconds. Charged by the engine per per-batch
+    /// buffer it has to (re)allocate; an engine that reuses its arenas
+    /// charges this only when a watermark grows.
+    pub device_alloc_ns: f64,
     /// PCIe one-way latency per transfer, nanoseconds.
     pub pcie_latency_ns: f64,
     /// PCIe bandwidth in bytes per nanosecond (≈ GB/s).
@@ -82,6 +88,7 @@ impl CostModel {
             alu_op_cycles: 1.0,
             proc_overhead_cycles: 17_000.0,
             warp_shuffle_cycles: 1.0,
+            device_alloc_ns: 2_000.0,
             pcie_latency_ns: 8_000.0,
             pcie_bytes_per_ns: 22.0,
             zero_copy_access_cycles: 10.0,

@@ -222,17 +222,37 @@ impl Device {
         }
     }
 
+    /// Fault gate shared by the fallible transfer entry points. A transient
+    /// fault aborts the copy, but the attempt still burned a PCIe round
+    /// trip before the fault surfaced — charge the one-way latency to the
+    /// simulated clock *and* the transfer histogram so the two stay in
+    /// agreement on retried transfers. Device loss charges nothing (the
+    /// link is gone, there is no device clock left to advance).
+    fn transfer_fault_check(&self) -> Result<(), DeviceError> {
+        match self.fault_check() {
+            Err(e @ DeviceError::TransientTransfer { .. }) => {
+                let ns = self.cfg.cost.pcie_latency_ns;
+                self.stats.lock().busy_ns += ns;
+                self.telemetry.lock().transfer_ns.record_ns(ns);
+                Err(e)
+            }
+            other => other,
+        }
+    }
+
     /// Fallible host→device copy: like [`Device::h2d`] but consults the
-    /// armed fault plan first. A failed attempt charges no simulated time.
+    /// armed fault plan first. A transiently failed attempt charges one
+    /// PCIe latency (the wasted round trip); no bytes are counted.
     pub fn try_h2d(&self, bytes: u64) -> Result<f64, DeviceError> {
-        self.fault_check()?;
+        self.transfer_fault_check()?;
         Ok(self.h2d(bytes))
     }
 
     /// Fallible device→host copy: like [`Device::d2h`] but consults the
-    /// armed fault plan first. A failed attempt charges no simulated time.
+    /// armed fault plan first. A transiently failed attempt charges one
+    /// PCIe latency (the wasted round trip); no bytes are counted.
     pub fn try_d2h(&self, bytes: u64) -> Result<f64, DeviceError> {
-        self.fault_check()?;
+        self.transfer_fault_check()?;
         Ok(self.d2h(bytes))
     }
 
@@ -446,14 +466,46 @@ mod tests {
         });
         d.try_h2d(64).unwrap(); // op 0
         let before = d.stats().busy_ns;
+        let bytes_before = d.stats().bytes_h2d;
         match d.try_h2d(64) {
             Err(DeviceError::TransientTransfer { op: 1 }) => {}
             other => panic!("expected transient at op 1, got {other:?}"),
         }
-        assert_eq!(d.stats().busy_ns, before, "failed transfer must charge no time");
+        // The aborted copy burns exactly one PCIe round trip of simulated
+        // time (no bandwidth term, no bytes).
+        let latency = d.cost().pcie_latency_ns;
+        assert!(
+            (d.stats().busy_ns - before - latency).abs() < 1e-9,
+            "failed transfer must charge exactly one PCIe latency"
+        );
+        assert_eq!(d.stats().bytes_h2d, bytes_before, "failed transfer moves no bytes");
         d.try_h2d(64).unwrap(); // retry, op 2
         assert_eq!(d.stats().transient_faults, 1);
         assert!(!d.is_failed());
+    }
+
+    #[test]
+    fn transient_charge_lands_in_telemetry_too() {
+        use crate::faults::DeviceFaultPlan;
+        use ltpg_telemetry::{names, Registry};
+        // Regression: a retried transfer must charge PCIe latency
+        // consistently in simulated time AND telemetry — previously the
+        // clock charged nothing while the retry counter moved.
+        let reg = Registry::new_shared();
+        let d = Device::new(DeviceConfig::default());
+        d.set_telemetry(&reg);
+        d.arm_faults(DeviceFaultPlan {
+            transient_ops: [0u64].into_iter().collect(),
+            lost_at_op: None,
+            recover_at_op: None,
+        });
+        assert!(d.try_d2h(64).is_err()); // op 0: transient
+        let ns = d.try_d2h(64).unwrap(); // op 1: retry succeeds
+        let snap = reg.histogram(names::GPU_TRANSFER_NS).snapshot();
+        assert_eq!(snap.count, 2, "both the aborted and the retried copy are recorded");
+        // Telemetry total equals the simulated-clock total for the pair.
+        let clock = d.stats().busy_ns;
+        assert!((clock - (d.cost().pcie_latency_ns + ns)).abs() < 1e-9);
     }
 
     #[test]

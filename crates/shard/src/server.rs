@@ -139,8 +139,10 @@ impl ShardExec {
 }
 
 /// Per-shard prepared state, GPU or CPU, with a uniform flag-word API.
+/// The GPU state is boxed: it carries the engine's recycled per-batch
+/// buffers and would otherwise dwarf the CPU variant.
 enum Prepared {
-    Gpu(PreparedBatch),
+    Gpu(Box<PreparedBatch>),
     Cpu(CpuPrepared),
 }
 
@@ -394,7 +396,11 @@ impl ShardedServer {
     /// `(single, multi, broadcast)`.
     fn split_batch(&self, batch: &Batch) -> (Vec<Batch>, (u64, u64, u64)) {
         let n = self.shards.len();
-        let mut subs: Vec<Vec<Txn>> = vec![Vec::new(); n];
+        // Size each sub-batch for the expected uniform share up front; a
+        // balanced split then routes with zero mid-loop `Vec` regrowth
+        // (skewed routes still regrow, but only past the hint).
+        let hint = batch.txns.len().div_ceil(n.max(1)) + batch.txns.len() / (4 * n.max(1));
+        let mut subs: Vec<Vec<Txn>> = (0..n).map(|_| Vec::with_capacity(hint)).collect();
         let (mut single, mut multi, mut broadcast) = (0u64, 0u64, 0u64);
         for txn in &batch.txns {
             let route = self.router.route(txn);
@@ -443,7 +449,7 @@ impl ShardedServer {
                 let mut attempt = 0u32;
                 let r = loop {
                     match e.try_prepare_batch(sub, scope) {
-                        Ok(p) => break Some(Prepared::Gpu(p)),
+                        Ok(p) => break Some(Prepared::Gpu(Box::new(p))),
                         Err(DeviceError::TransientTransfer { .. })
                             if attempt < self.cfg.max_transient_retries =>
                         {
@@ -490,7 +496,7 @@ impl ShardedServer {
         match (&mut self.shards[s].exec, prepared) {
             (ShardExec::Gpu(e), Prepared::Gpu(p)) => {
                 let prep_ns = p.sim_ns();
-                match e.try_finish_batch(sub, p, scope) {
+                match e.try_finish_batch(sub, *p, scope) {
                     Ok(r) => Some(r.stats.total_ns() - prep_ns),
                     Err(_) => None,
                 }

@@ -45,6 +45,13 @@ pub const LTPG_PHASE_WRITEBACK_NS: &str = "ltpg.phase.writeback_ns";
 pub const LTPG_PHASE_SYNC_NS: &str = "ltpg.phase.sync_ns";
 /// Histogram: simulated ns spent downloading results (D2H).
 pub const LTPG_PHASE_D2H_NS: &str = "ltpg.phase.d2h_ns";
+/// Histogram: simulated ns spent in per-batch device allocation
+/// (cudaMalloc-class). Zero in steady state once arena reuse is on.
+pub const LTPG_PHASE_ALLOC_NS: &str = "ltpg.phase.alloc_ns";
+/// Counter: per-batch host/device buffer allocations that were *not*
+/// absorbed by the engine's reusable arena (watermark growth events).
+/// Flat across steady-state ticks when arena reuse is on.
+pub const LTPG_ALLOC_EVENTS: &str = "ltpg.alloc_events";
 /// Histogram: naive serial per-batch latency (sum of all phases).
 pub const LTPG_BATCH_TOTAL_NS: &str = "ltpg.batch.total_ns";
 /// Histogram: pipelined per-batch critical-path latency.

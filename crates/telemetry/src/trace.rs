@@ -44,7 +44,10 @@ impl TraceLog {
             epoch: Instant::now(),
             inner: Mutex::new(Inner {
                 next_seq: 0,
-                events: VecDeque::new(),
+                // Pre-size to the cap: the ring then never reallocates, so
+                // steady-state span recording stays off the heap (the
+                // engine's zero-allocation tick invariant depends on it).
+                events: VecDeque::with_capacity(cap.max(1)),
             }),
         }
     }

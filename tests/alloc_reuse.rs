@@ -1,0 +1,160 @@
+//! Steady-state allocation reuse (ISSUE 7 tentpole regression tests).
+//!
+//! The engine recycles its per-batch buffers (`EngineScratch`), so once the
+//! arena has warmed to the workload's high-watermark a tick must not grow
+//! the heap. Pinned at two levels:
+//!
+//! * **Engine level** — a counting global allocator proves the *net* heap
+//!   delta of a steady-state `execute_batch` round-trip is zero (transient
+//!   allocations are fine; retained growth is the regression).
+//! * **Server level** — `LtpgServer` and `ShardedServer` retain per-tick
+//!   state the engine does not (WAL, replication log), so raw heap deltas
+//!   are not zero there. Instead the simulated-side watermark is pinned:
+//!   the `ltpg.alloc_events` counter must stop growing after warm-up —
+//!   every steady-state tick is absorbed by the recycled arena.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Mutex;
+
+use ltpg::{LtpgConfig, LtpgEngine, LtpgServer, ServerConfig};
+use ltpg_shard::{ycsb_partitioner, ShardedServer};
+use ltpg_telemetry::names;
+use ltpg_txn::{Batch, TidGen};
+use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+
+/// Counts the net bytes currently allocated through the global allocator.
+struct CountingAlloc;
+
+static NET_BYTES: AtomicI64 = AtomicI64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            NET_BYTES.fetch_add(layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        NET_BYTES.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            NET_BYTES.fetch_add(new_size as i64 - layout.size() as i64, Ordering::Relaxed);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The allocator counter is process-global, so tests in this binary must
+/// not run concurrently with a measurement window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn ycsb(records: u64, shards: u32) -> YcsbConfig {
+    let cfg = YcsbConfig::new(YcsbWorkload::A, records).with_seed(0xa1_10_c8);
+    if shards > 1 {
+        cfg.with_partitions(shards, 0)
+    } else {
+        cfg
+    }
+}
+
+#[test]
+fn steady_state_engine_batches_add_zero_net_heap() {
+    let _guard = SERIAL.lock().unwrap();
+    let (db, _table, mut gen) = YcsbGenerator::new(ycsb(4_096, 1));
+    let cfg = LtpgConfig { max_batch: 512, ..LtpgConfig::default() };
+    let mut engine = LtpgEngine::new(db, cfg);
+
+    // Pre-assemble every batch so the measurement window sees only the
+    // engine's own allocations.
+    let mut tids = TidGen::new();
+    let batches: Vec<Batch> =
+        (0..8).map(|_| Batch::assemble(Vec::new(), gen.gen_batch(256), &mut tids)).collect();
+
+    let mut marks = Vec::with_capacity(batches.len());
+    for batch in &batches {
+        let rws = engine.execute_batch_report(batch);
+        assert!(!rws.report.committed.is_empty());
+        drop(rws);
+        marks.push(NET_BYTES.load(Ordering::Relaxed));
+    }
+    // Rounds 0..4 warm the arena (buffer growth to the workload watermark,
+    // lazy telemetry registration); every later round must leave the heap
+    // exactly where warm-up left it.
+    let baseline = marks[3];
+    for (i, m) in marks.iter().enumerate().skip(4) {
+        assert!(
+            *m <= baseline,
+            "steady-state batch {i} grew the heap: {} -> {} bytes",
+            baseline,
+            m
+        );
+    }
+}
+
+#[test]
+fn steady_state_server_ticks_charge_zero_alloc_events() {
+    let _guard = SERIAL.lock().unwrap();
+    let (db, _table, mut gen) = YcsbGenerator::new(ycsb(4_096, 1));
+    let mut server = LtpgServer::new(
+        db,
+        LtpgConfig { max_batch: 512, ..LtpgConfig::default() },
+        ServerConfig { batch_size: 256, pipelined: false, ..ServerConfig::default() },
+    );
+    server.submit_all(gen.gen_batch(256 * 10));
+
+    for _ in 0..4 {
+        assert!(server.tick().is_some());
+    }
+    let events = server.telemetry().counter_value(names::LTPG_ALLOC_EVENTS);
+    assert!(events > 0, "warm-up ticks must charge the initial arena fills");
+    for t in 0..6 {
+        assert!(server.tick().is_some());
+        let now = server.telemetry().counter_value(names::LTPG_ALLOC_EVENTS);
+        assert_eq!(now, events, "steady-state server tick {t} charged new alloc events");
+    }
+}
+
+#[test]
+fn steady_state_sharded_ticks_charge_zero_alloc_events() {
+    let _guard = SERIAL.lock().unwrap();
+    let shards = 2;
+    let cfg = ycsb(4_096, shards);
+    let (db, table, mut gen) = YcsbGenerator::new(cfg.clone());
+    let mut server = ShardedServer::new(
+        db,
+        ycsb_partitioner(shards, table, &cfg),
+        LtpgConfig { max_batch: 512, ..LtpgConfig::default() },
+        ServerConfig { batch_size: 256, pipelined: false, ..ServerConfig::default() },
+    );
+    server.submit_all(gen.gen_batch(256 * 26));
+
+    // Sub-batch sizes vary with routing, so the per-shard arenas warm over
+    // several ticks: each new per-shard high-watermark charges one arena
+    // refill, and with this seed the last watermark break lands at tick 17.
+    // The fixed seed makes the sequence reproducible.
+    for _ in 0..20 {
+        assert!(server.tick().is_some());
+    }
+    fn per_shard(server: &ShardedServer, shards: u32) -> Vec<u64> {
+        (0..shards)
+            .map(|s| server.shard_telemetry(s).counter_value(names::LTPG_ALLOC_EVENTS))
+            .collect()
+    }
+    let events = per_shard(&server, shards);
+    assert!(events.iter().all(|&e| e > 0), "every shard warms its own arena: {events:?}");
+    for t in 0..4 {
+        assert!(server.tick().is_some());
+        let now = per_shard(&server, shards);
+        assert_eq!(now, events, "steady-state sharded tick {t} charged new alloc events");
+    }
+}
