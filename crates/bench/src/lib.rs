@@ -263,6 +263,13 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
 /// Result-file stem for a bench binary: smoke runs write to a separate
 /// `<base>_smoke` stem so a CI smoke pass can never clobber a committed
 /// full-run record under `results/`.
+///
+/// `results/` is the **single canonical location** for every benchmark
+/// artifact. Bench binaries must route all record emission through
+/// [`write_json`] (which only writes under `results/`) and must never
+/// write a copy at the repository root — a root-level duplicate silently
+/// drifts from the canonical record the moment either copy is
+/// regenerated, and CI regression guards only ever read `results/`.
 pub fn results_name(base: &str, smoke: bool) -> String {
     if smoke {
         format!("{base}_smoke")

@@ -1366,6 +1366,9 @@ impl LtpgEngine {
                     // histogram, critical path and device agree.
                     stats.d2h_retries += 1;
                     self.telemetry.counter(names::FAULT_TRANSIENT_RETRIES).inc();
+                    self.telemetry
+                        .counter(names::FAULT_RETRY_PENALTY_NS)
+                        .add(self.device.cost().pcie_latency_ns.round() as u64);
                 }
             }
         };

@@ -326,6 +326,19 @@ impl LtpgServer {
         self.inbox.len() + self.requeue.iter().map(Vec::len).sum::<usize>()
     }
 
+    /// Fresh submissions waiting in the inbox (excludes re-queued aborts
+    /// sitting out their retry delay).
+    pub fn inbox_len(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// The TID the next fresh admission will receive at batch assembly.
+    /// Fresh TIDs are handed out in inbox FIFO order, so an ingestion layer
+    /// can mirror this counter to correlate commits with submissions.
+    pub fn next_tid(&self) -> u64 {
+        self.tids.peek()
+    }
+
     /// The live database.
     pub fn database(&self) -> &Database {
         self.executor.database()

@@ -124,6 +124,9 @@ pub struct FaultStats {
     pub transient_retries: u64,
     /// Simulated nanoseconds spent in retry backoff.
     pub backoff_ns: f64,
+    /// Simulated nanoseconds of wasted transfer time from in-place
+    /// download retries (one PCIe round trip per retry).
+    pub retry_penalty_ns: f64,
     /// Torn WAL tails dropped during degradation replay.
     pub frames_truncated: u64,
     /// Bytes of torn WAL tail dropped during degradation replay.
@@ -140,6 +143,7 @@ impl FaultStats {
         Self {
             transient_retries: reg.counter_value(names::FAULT_TRANSIENT_RETRIES),
             backoff_ns: reg.counter_value(names::FAULT_BACKOFF_NS) as f64,
+            retry_penalty_ns: reg.counter_value(names::FAULT_RETRY_PENALTY_NS) as f64,
             frames_truncated: reg.counter_value(names::FAULT_FRAMES_TRUNCATED),
             bytes_truncated: reg.counter_value(names::FAULT_BYTES_TRUNCATED),
             fallback_activations: reg.counter_value(names::FAULT_FALLBACK_ACTIVATIONS),

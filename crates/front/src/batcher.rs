@@ -1,0 +1,184 @@
+//! The batcher stage: deadline- and size-triggered batch sealing on the
+//! simulated clock.
+//!
+//! A batch seals when it reaches the configured size, or when its oldest
+//! member has waited `seal_deadline_ns` — whichever comes first. Both
+//! triggers read only simulated time and queue state, never the wall
+//! clock, so sealed boundaries are a deterministic function of the seed
+//! and arrival schedule. A running digest folds every boundary
+//! (sequence, seal time, fill, trigger) so tests can pin determinism with
+//! a single `u64`.
+
+use crate::streamer::Pending;
+
+/// Why a batch sealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealTrigger {
+    /// Reached the configured batch size.
+    Size,
+    /// Oldest member hit the seal deadline.
+    Deadline,
+    /// Force-sealed while draining the pipeline at shutdown.
+    Drain,
+}
+
+/// A sealed batch headed for the dispatcher.
+#[derive(Debug)]
+pub struct SealedBatch {
+    /// Sequence number (0-based, dense).
+    pub seq: u64,
+    /// Simulated seal timestamp, ns.
+    pub at_ns: u64,
+    /// What sealed it.
+    pub trigger: SealTrigger,
+    /// Members, in admission (streamer drain) order.
+    pub txns: Vec<Pending>,
+}
+
+/// Accumulates admitted transactions into an open batch and decides when
+/// to seal it.
+#[derive(Debug)]
+pub struct Batcher {
+    batch_size: usize,
+    deadline_ns: u64,
+    open: Vec<Pending>,
+    open_since: Option<u64>,
+    seq: u64,
+    digest: u64,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Batcher {
+    /// Create with the target batch size and the seal deadline.
+    pub fn new(batch_size: usize, seal_deadline_ns: u64) -> Self {
+        Batcher {
+            batch_size: batch_size.max(1),
+            deadline_ns: seal_deadline_ns,
+            open: Vec::new(),
+            open_since: None,
+            seq: 0,
+            digest: 0,
+        }
+    }
+
+    /// Add one transaction to the open batch at simulated time `now_ns`.
+    /// Seals and returns the batch if this push filled it.
+    pub fn push(&mut self, p: Pending, now_ns: u64) -> Option<SealedBatch> {
+        if self.open.is_empty() {
+            self.open_since = Some(now_ns);
+        }
+        self.open.push(p);
+        if self.open.len() >= self.batch_size {
+            self.seal(now_ns, SealTrigger::Size)
+        } else {
+            None
+        }
+    }
+
+    /// Absolute simulated time at which the open batch must seal, or
+    /// `None` when no batch is open.
+    pub fn deadline_at(&self) -> Option<u64> {
+        self.open_since.map(|s| s.saturating_add(self.deadline_ns))
+    }
+
+    /// Seal the open batch at `at_ns`, or `None` if it is empty.
+    pub fn seal(&mut self, at_ns: u64, trigger: SealTrigger) -> Option<SealedBatch> {
+        if self.open.is_empty() {
+            return None;
+        }
+        let txns = std::mem::take(&mut self.open);
+        self.open_since = None;
+        let seq = self.seq;
+        self.seq += 1;
+        // Fold the boundary into the digest: any change in when a batch
+        // sealed, how full it was, why, or which submissions it contains,
+        // changes the digest.
+        for word in [seq, at_ns, txns.len() as u64, trigger as u64] {
+            self.digest = splitmix(self.digest ^ word);
+        }
+        for p in &txns {
+            self.digest = splitmix(self.digest ^ (u64::from(p.client) << 32) ^ p.arrive_ns);
+        }
+        Some(SealedBatch { seq, at_ns, trigger, txns })
+    }
+
+    /// Transactions currently in the open batch.
+    pub fn open_len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Number of batches sealed so far.
+    pub fn sealed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Running digest over every sealed boundary (seq, time, fill,
+    /// trigger). Equal digests ⇒ identical sealing histories.
+    pub fn seal_digest(&self) -> u64 {
+        self.digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltpg_txn::{ProcId, Txn};
+
+    fn p(at: u64) -> Pending {
+        Pending { client: 0, arrive_ns: at, txn: Txn::new(ProcId(0), vec![], vec![]) }
+    }
+
+    #[test]
+    fn size_trigger_seals_exactly_at_capacity() {
+        let mut b = Batcher::new(3, 1_000);
+        assert!(b.push(p(0), 0).is_none());
+        assert!(b.push(p(1), 1).is_none());
+        let sealed = b.push(p(2), 2).expect("third push seals");
+        assert_eq!(sealed.trigger, SealTrigger::Size);
+        assert_eq!(sealed.txns.len(), 3);
+        assert_eq!(b.open_len(), 0);
+        assert!(b.deadline_at().is_none());
+    }
+
+    #[test]
+    fn deadline_tracks_oldest_member() {
+        let mut b = Batcher::new(100, 1_000);
+        assert!(b.deadline_at().is_none());
+        b.push(p(40), 40);
+        b.push(p(900), 900);
+        assert_eq!(b.deadline_at(), Some(1_040), "deadline anchored to first member");
+        let sealed = b.seal(1_040, SealTrigger::Deadline).unwrap();
+        assert_eq!(sealed.txns.len(), 2);
+        assert_eq!(sealed.at_ns, 1_040);
+    }
+
+    #[test]
+    fn digest_distinguishes_histories() {
+        let run = |times: &[u64]| {
+            let mut b = Batcher::new(2, 1_000);
+            for &t in times {
+                b.push(p(t), t);
+            }
+            b.seal(2_000, SealTrigger::Drain);
+            b.seal_digest()
+        };
+        assert_eq!(run(&[1, 2, 3]), run(&[1, 2, 3]), "same schedule, same digest");
+        assert_ne!(run(&[1, 2, 3]), run(&[1, 5, 6]), "moved seal time changes digest");
+        assert_ne!(run(&[1, 2, 3]), run(&[1, 2, 4]), "moved member arrival changes digest");
+        assert_ne!(run(&[1, 2, 3]), run(&[1, 2]), "different fill changes digest");
+    }
+
+    #[test]
+    fn sealing_empty_open_batch_is_a_no_op() {
+        let mut b = Batcher::new(2, 1_000);
+        assert!(b.seal(500, SealTrigger::Drain).is_none());
+        assert_eq!(b.sealed(), 0);
+        assert_eq!(b.seal_digest(), 0);
+    }
+}

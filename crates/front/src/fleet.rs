@@ -1,0 +1,123 @@
+//! Seeded open-loop client fleet: a Poisson arrival process whose clients
+//! are drawn from a Zipf distribution, so per-client submission rates are
+//! skewed (a few hot clients, a long tail) the way production front-ends
+//! see them.
+//!
+//! Open-loop means clients do not wait for responses: arrivals keep
+//! coming at the offered rate whether or not the pipeline sheds, which is
+//! exactly the regime where admission control earns its keep. The
+//! schedule is a pure function of the seed — reusing the fixed Devroye
+//! sampler from `ltpg-workloads` for the skewed client draw.
+
+use ltpg_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fleet shape and offered load.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of simulated clients (tens of thousands is the intended
+    /// scale; the generator is lazy so this costs nothing up front).
+    pub clients: u32,
+    /// Aggregate offered load, transactions per simulated second.
+    pub offered_tps: f64,
+    /// Zipf skew of per-client rates (0 = uniform fleet).
+    pub skew: f64,
+    /// RNG seed for the arrival schedule.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { clients: 10_000, offered_tps: 1_000_000.0, skew: 1.1, seed: 7 }
+    }
+}
+
+/// One arrival: which client submits at which simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Simulated arrival time, ns.
+    pub at_ns: u64,
+    /// Submitting client id (`0..clients`).
+    pub client: u32,
+}
+
+/// Lazy arrival-schedule generator.
+#[derive(Debug)]
+pub struct Fleet {
+    zipf: Zipf,
+    rng: StdRng,
+    now_ns: f64,
+    mean_gap_ns: f64,
+}
+
+impl Fleet {
+    /// Create a fleet from its config.
+    pub fn new(cfg: FleetConfig) -> Self {
+        let clients = cfg.clients.max(1);
+        Fleet {
+            zipf: Zipf::new(u64::from(clients), cfg.skew),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            now_ns: 0.0,
+            mean_gap_ns: 1e9 / cfg.offered_tps.max(1e-9),
+        }
+    }
+
+    /// Draw the next arrival: exponential inter-arrival gap at the offered
+    /// rate, client picked by the scrambled Zipf draw (so client ids are
+    /// spread over the fleet while rank frequencies stay skewed).
+    pub fn next_arrival(&mut self) -> Arrival {
+        let u: f64 = self.rng.gen();
+        // Inverse-CDF exponential; 1-u is in (0,1] so ln is finite.
+        self.now_ns += -(1.0 - u).ln() * self.mean_gap_ns;
+        let client = (self.zipf.sample_scrambled(&mut self.rng) - 1) as u32;
+        Arrival { at_ns: self.now_ns as u64, client }
+    }
+
+    /// Draw the next `n` arrivals.
+    pub fn schedule(&mut self, n: usize) -> Vec<Arrival> {
+        (0..n).map(|_| self.next_arrival()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = FleetConfig { clients: 1_000, offered_tps: 5e6, skew: 1.1, seed: 42 };
+        let a = Fleet::new(cfg).schedule(500);
+        let b = Fleet::new(cfg).schedule(500);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_near_offered_rate() {
+        let cfg = FleetConfig { clients: 100, offered_tps: 1e6, skew: 0.0, seed: 1 };
+        let sched = Fleet::new(cfg).schedule(10_000);
+        assert!(sched.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        let span_s = sched.last().unwrap().at_ns as f64 / 1e9;
+        let rate = 10_000.0 / span_s;
+        assert!((rate / 1e6 - 1.0).abs() < 0.1, "measured {rate:.0} tps vs 1e6 offered");
+    }
+
+    #[test]
+    fn skew_concentrates_load_on_few_clients() {
+        let cfg = FleetConfig { clients: 10_000, offered_tps: 1e6, skew: 1.2, seed: 3 };
+        let sched = Fleet::new(cfg).schedule(20_000);
+        let mut per_client: HashMap<u32, u64> = HashMap::new();
+        for a in &sched {
+            assert!(a.client < 10_000);
+            *per_client.entry(a.client).or_default() += 1;
+        }
+        let mut counts: Vec<u64> = per_client.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u64 = counts.iter().take(10).sum();
+        assert!(
+            top10 as f64 > 0.2 * 20_000.0,
+            "top-10 clients should carry >20% of a skew-1.2 fleet, got {top10}"
+        );
+    }
+}

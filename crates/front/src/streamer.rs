@@ -1,0 +1,167 @@
+//! The streamer stage: bounded per-client submission channels drained with
+//! deterministic round-robin fair queuing.
+//!
+//! The container has no async runtime (and the pipeline is driven by the
+//! *simulated* clock anyway), so a channel here is a bounded `VecDeque`
+//! owned by the front-end and pumped synchronously at event times. The
+//! observable semantics match an mpsc with `try_send`: a full channel
+//! rejects the submission, which is the per-client backpressure signal.
+
+use std::collections::{HashMap, VecDeque};
+
+use ltpg_txn::Txn;
+
+/// A transaction in flight through the front-end, tagged with its
+/// submitting client and simulated arrival time.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// Submitting client id.
+    pub client: u32,
+    /// Simulated arrival timestamp, ns.
+    pub arrive_ns: u64,
+    /// The transaction itself.
+    pub txn: Txn,
+}
+
+/// Bounded per-client channels plus a deterministic round-robin drain
+/// cursor. Clients are registered in first-seen order and the cursor only
+/// ever walks that order, so the drain sequence is a pure function of the
+/// submission schedule — no map-iteration or wall-clock nondeterminism.
+#[derive(Debug)]
+pub struct Streamer {
+    cap: usize,
+    /// Client ids in first-seen order (the round-robin ring).
+    ring: Vec<u32>,
+    index: HashMap<u32, usize>,
+    queues: Vec<VecDeque<Pending>>,
+    cursor: usize,
+    queued: usize,
+}
+
+impl Streamer {
+    /// Create with the given per-client channel capacity.
+    pub fn new(per_client_cap: usize) -> Self {
+        Streamer {
+            cap: per_client_cap.max(1),
+            ring: Vec::new(),
+            index: HashMap::new(),
+            queues: Vec::new(),
+            cursor: 0,
+            queued: 0,
+        }
+    }
+
+    /// Try to enqueue a submission on `client`'s channel. Returns `false`
+    /// (dropping the transaction) when the channel is full — the caller
+    /// counts that as a backpressure shed.
+    pub fn try_send(&mut self, client: u32, arrive_ns: u64, txn: Txn) -> bool {
+        let slot = match self.index.get(&client) {
+            Some(&s) => s,
+            None => {
+                let s = self.ring.len();
+                self.ring.push(client);
+                self.index.insert(client, s);
+                self.queues.push(VecDeque::new());
+                s
+            }
+        };
+        if self.queues[slot].len() >= self.cap {
+            return false;
+        }
+        self.queues[slot].push_back(Pending { client, arrive_ns, txn });
+        self.queued += 1;
+        true
+    }
+
+    /// Pop the next submission fairly: scan the client ring from the
+    /// cursor, take the head of the first non-empty channel, and advance
+    /// the cursor past it. One txn per client per turn keeps a hog client
+    /// from monopolizing batch slots while its peers queue.
+    pub fn pop_fair(&mut self) -> Option<Pending> {
+        let n = self.ring.len();
+        for step in 0..n {
+            let slot = (self.cursor + step) % n;
+            if let Some(p) = self.queues[slot].pop_front() {
+                self.cursor = (slot + 1) % n;
+                self.queued -= 1;
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Shed every queued submission that arrived strictly before
+    /// `cutoff_ns` (channels are FIFO, so expired entries are at the
+    /// heads). Returns how many were shed.
+    pub fn shed_expired(&mut self, cutoff_ns: u64) -> u64 {
+        let mut shed = 0;
+        for q in &mut self.queues {
+            while q.front().is_some_and(|p| p.arrive_ns < cutoff_ns) {
+                q.pop_front();
+                shed += 1;
+            }
+        }
+        self.queued -= shed as usize;
+        shed
+    }
+
+    /// Total transactions queued across all channels.
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Number of distinct clients seen so far.
+    pub fn clients(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether every channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ltpg_txn::ProcId;
+
+    fn t() -> Txn {
+        Txn::new(ProcId(0), vec![], vec![])
+    }
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let mut s = Streamer::new(8);
+        for i in 0..3 {
+            assert!(s.try_send(7, i, t()));
+        }
+        for i in 0..3 {
+            assert!(s.try_send(9, 10 + i, t()));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop_fair()).map(|p| p.client).collect();
+        assert_eq!(order, vec![7, 9, 7, 9, 7, 9]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn full_channel_rejects_without_affecting_peers() {
+        let mut s = Streamer::new(2);
+        assert!(s.try_send(1, 0, t()));
+        assert!(s.try_send(1, 1, t()));
+        assert!(!s.try_send(1, 2, t()), "third submission must hit the cap");
+        assert!(s.try_send(2, 3, t()), "peer channel unaffected");
+        assert_eq!(s.queued(), 3);
+    }
+
+    #[test]
+    fn shed_expired_takes_only_old_heads() {
+        let mut s = Streamer::new(8);
+        s.try_send(1, 5, t());
+        s.try_send(1, 50, t());
+        s.try_send(2, 7, t());
+        assert_eq!(s.shed_expired(10), 2);
+        assert_eq!(s.queued(), 1);
+        assert_eq!(s.pop_fair().unwrap().arrive_ns, 50);
+    }
+}

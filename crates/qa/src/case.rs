@@ -86,6 +86,11 @@ pub struct QaCase {
     /// Treat column 0 of table 0 as always-commutative (exercises the
     /// delayed-merge and forced-abort paths).
     pub commutative_t0c0: bool,
+    /// Also drive the schedule through the `ltpg-front` ingestion
+    /// pipeline (lossless config) and compare tick-for-tick against a
+    /// directly fed server: batch *formation* must never change commit
+    /// decisions, and final digests must be bit-identical.
+    pub via_front: bool,
 }
 
 impl QaCase {

@@ -98,6 +98,9 @@ pub fn generate(seed: u64) -> QaCase {
     // always did. A pool turns any `fail_shard` loss into a failover; it
     // also rides along fault-free runs to cover steady-state replay.
     let standbys = if rng.gen_bool(0.25) { rng.gen_range(1..=2u32) } else { 0 };
+    // Drawn after `standbys` for the same seed-stability reason: route a
+    // third of cases through the ingestion front-end's batcher too.
+    let via_front = rng.gen_bool(0.33);
     QaCase {
         seed,
         tables,
@@ -109,6 +112,7 @@ pub fn generate(seed: u64) -> QaCase {
         fail_shard,
         commutative_t0c0,
         standbys,
+        via_front,
     }
 }
 

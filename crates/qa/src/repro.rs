@@ -53,6 +53,9 @@ pub fn to_text(case: &QaCase) -> String {
     if case.standbys > 0 {
         let _ = writeln!(s, "standbys {}", case.standbys);
     }
+    if case.via_front {
+        let _ = writeln!(s, "via_front");
+    }
     if case.commutative_t0c0 {
         let _ = writeln!(s, "commutative_t0c0");
     }
@@ -317,6 +320,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
         fail_shard: None,
         commutative_t0c0: false,
         standbys: 0,
+        via_front: false,
     };
     // (proc, params, ops) of the txn currently being collected.
     let mut open_txn: Option<(u16, Vec<i64>, Vec<IrOp>)> = None;
@@ -355,6 +359,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
                     Some((num(lineno, toks.get(1))?, num(lineno, toks.get(2))?))
             }
             "standbys" => case.standbys = num(lineno, toks.get(1))?,
+            "via_front" => case.via_front = true,
             "commutative_t0c0" => case.commutative_t0c0 = true,
             "table" => {
                 let name =

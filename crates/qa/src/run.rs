@@ -89,6 +89,12 @@ pub enum Divergence {
         /// The panic payload, if it was a string.
         detail: String,
     },
+    /// The ingestion front-end misbehaved structurally on a lossless
+    /// config (shed a transaction or broke the conservation invariant).
+    FrontPipeline {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -114,6 +120,9 @@ impl std::fmt::Display for Divergence {
             ),
             Divergence::WalReplay { detail } => write!(f, "WAL replay divergence: {detail}"),
             Divergence::Panic { detail } => write!(f, "execution path panicked: {detail}"),
+            Divergence::FrontPipeline { detail } => {
+                write!(f, "front-end pipeline divergence: {detail}")
+            }
         }
     }
 }
@@ -130,6 +139,8 @@ pub struct CaseOutcome {
     /// Whether both servers fully drained within the tick cap (schedules
     /// with permanently re-queued user aborts legitimately do not).
     pub drained: bool,
+    /// Ticks the front-end pass drove (0 unless the case sets `via_front`).
+    pub front_ticks: usize,
 }
 
 fn tids(v: &[Tid]) -> Vec<u64> {
@@ -155,6 +166,9 @@ fn run_case_inner(case: &QaCase) -> Result<CaseOutcome, Divergence> {
     let mut outcome = CaseOutcome::default();
     engine_pass(case, &mut outcome)?;
     server_pass(case, &mut outcome)?;
+    if case.via_front {
+        front_pass(case, &mut outcome)?;
+    }
     Ok(outcome)
 }
 
@@ -290,6 +304,76 @@ fn server_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergenc
         Err(e) => {
             return Err(Divergence::WalReplay { detail: format!("recovery failed: {e:?}") })
         }
+    }
+    Ok(())
+}
+
+/// Pass 4 (cases with `via_front`): the identical schedule flows through
+/// the `ltpg-front` ingestion pipeline on a lossless config (unbounded
+/// queues, no rate limit, far deadline) into one server, while a second
+/// server is fed the pre-formed stream directly. Both are compared
+/// tick-for-tick — batch *formation* must never change commit decisions —
+/// and the final state digests must be bit-identical. The front-end's
+/// structural invariants (zero shed, end-to-end conservation) are also
+/// divergences here: the whole point of the lossless config is that every
+/// submission reaches the engine.
+fn front_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergence> {
+    let cfg = case.engine_config();
+    let scfg = case.server_config();
+    let db = case.build_database();
+    let fcfg = ltpg_front::FrontConfig::lossless(case.batch_size);
+    let mut front = ltpg_front::FrontEnd::new(
+        LtpgServer::new(db.deep_clone(), cfg.clone(), scfg.clone()),
+        fcfg,
+    );
+    for txn in &case.txns {
+        front.offer(0, 0, txn.clone());
+    }
+    let max_ticks = (case.txns.len() / case.batch_size.max(1) + 2) * 12 + 16;
+    front.finish(max_ticks);
+    if front.stats().shed() != 0 {
+        return Err(Divergence::FrontPipeline {
+            detail: format!("lossless config shed {} transactions", front.stats().shed()),
+        });
+    }
+    if !front.conserves() {
+        return Err(Divergence::FrontPipeline {
+            detail: format!("conservation violated: {:?}", front.stats()),
+        });
+    }
+    let front_outcomes = front.take_outcomes();
+    outcome.front_ticks = front_outcomes.len();
+
+    let mut direct = LtpgServer::new(db, cfg, scfg);
+    direct.submit_all(case.txns.iter().cloned());
+    for (step, f) in front_outcomes.iter().enumerate() {
+        let Some(d) = direct.tick() else {
+            return Err(Divergence::Lockstep {
+                step,
+                detail: "direct server went idle while the front-fed one ticked".into(),
+            });
+        };
+        if d.committed != f.committed {
+            return Err(Divergence::CommitSet {
+                site: "front-vs-direct".into(),
+                step,
+                expected: tids(&d.committed),
+                got: tids(&f.committed),
+            });
+        }
+        if d.aborted != f.aborted {
+            return Err(Divergence::CommitSet {
+                site: "front-vs-direct-aborts".into(),
+                step,
+                expected: tids(&d.aborted),
+                got: tids(&f.aborted),
+            });
+        }
+    }
+    let expected = direct.database().state_digest();
+    let got = front.sink().database().state_digest();
+    if expected != got {
+        return Err(Divergence::Digest { site: "front-vs-direct".into(), expected, got });
     }
     Ok(())
 }

@@ -125,6 +125,12 @@ pub const WAL_BYTES_TRUNCATED: &str = "wal.recovery.bytes_truncated";
 pub const FAULT_TRANSIENT_RETRIES: &str = "faults.transient_retries";
 /// Counter: simulated nanoseconds spent in retry backoff (stored as integer ns).
 pub const FAULT_BACKOFF_NS: &str = "faults.backoff_ns";
+/// Counter: simulated nanoseconds of extra transfer time charged by in-place
+/// retries of transient download faults (the wasted PCIe round trips). Like
+/// [`FAULT_BACKOFF_NS`] this is fault-induced delay: consumers that need a
+/// fault-invariant view of engine time (the ingestion front-end's steady
+/// clock) subtract both.
+pub const FAULT_RETRY_PENALTY_NS: &str = "faults.retry_penalty_ns";
 /// Counter: torn WAL frames dropped during degraded recovery.
 pub const FAULT_FRAMES_TRUNCATED: &str = "faults.frames_truncated";
 /// Counter: bytes truncated from the WAL during degraded recovery.
@@ -133,9 +139,10 @@ pub const FAULT_BYTES_TRUNCATED: &str = "faults.bytes_truncated";
 pub const FAULT_FALLBACK_ACTIVATIONS: &str = "faults.fallback_activations";
 
 /// All fault counters, in export order.
-pub const FAULT_COUNTERS: [&str; 5] = [
+pub const FAULT_COUNTERS: [&str; 6] = [
     FAULT_TRANSIENT_RETRIES,
     FAULT_BACKOFF_NS,
+    FAULT_RETRY_PENALTY_NS,
     FAULT_FRAMES_TRUNCATED,
     FAULT_BYTES_TRUNCATED,
     FAULT_FALLBACK_ACTIVATIONS,
@@ -173,6 +180,56 @@ pub const SHARD_MERGE_STALL_NS: &str = "shard.merge.stall_ns";
 pub const SHARD_TICK_NS: &str = "shard.tick_ns";
 /// Gauge: shards currently degraded to the CPU fallback.
 pub const SHARD_DEGRADED: &str = "shard.degraded";
+
+// --- ingestion front-end (`ltpg-front`) --------------------------------------
+
+/// Counter: transactions offered to the front-end by clients (open-loop
+/// arrivals, before any admission decision).
+pub const FRONT_SUBMITTED: &str = "front.submitted";
+/// Counter: transactions admitted past rate limiting and queue bounds.
+pub const FRONT_ADMITTED: &str = "front.admitted";
+/// Counter: admitted transactions committed by the engine (each once).
+pub const FRONT_COMMITTED: &str = "front.committed";
+/// Counter: transactions shed by a per-client rate limit.
+pub const FRONT_SHED_RATE_LIMITED: &str = "front.shed.rate_limited";
+/// Counter: transactions shed because the submitting client's bounded
+/// channel was full — the per-client backpressure signal.
+pub const FRONT_SHED_BACKPRESSURE: &str = "front.shed.backpressure";
+/// Counter: transactions shed because the global unsealed-queue bound was
+/// reached (aggregate overload, regardless of client).
+pub const FRONT_SHED_QUEUE_FULL: &str = "front.shed.queue_full";
+/// Counter: queued transactions shed after waiting longer than the queue
+/// timeout without being sealed into a batch.
+pub const FRONT_SHED_TIMED_OUT: &str = "front.shed.timed_out";
+/// Counter: batches sealed (size-, deadline- and drain-triggered alike).
+pub const FRONT_BATCHES_SEALED: &str = "front.batches_sealed";
+/// Counter: batches sealed because they reached the configured size.
+pub const FRONT_SEALS_SIZE: &str = "front.seal.size";
+/// Counter: batches sealed because the oldest member hit the deadline.
+pub const FRONT_SEALS_DEADLINE: &str = "front.seal.deadline";
+/// Counter: batches force-sealed while draining the pipeline at shutdown.
+pub const FRONT_SEALS_DRAIN: &str = "front.seal.drain";
+/// Histogram: transactions per sealed batch (fill level).
+pub const FRONT_BATCH_FILL: &str = "front.batch_fill";
+/// Histogram: simulated ns a transaction waited between arrival and its
+/// batch sealing.
+pub const FRONT_QUEUE_WAIT_NS: &str = "front.queue_wait_ns";
+/// Histogram: simulated ns from a transaction's arrival to its commit
+/// (end-to-end latency through streamer → batcher → engine, including
+/// abort/re-execution rounds).
+pub const FRONT_E2E_NS: &str = "front.e2e_ns";
+/// Gauge: transactions queued in the front-end (client channels plus the
+/// open batch), i.e. admitted but not yet dispatched.
+pub const FRONT_QUEUE_DEPTH: &str = "front.queue_depth";
+
+/// Every shed-path counter, in export order. The conservation invariant
+/// extends over these: `committed + pending + Σ shed == submitted`.
+pub const FRONT_SHED_COUNTERS: [&str; 4] = [
+    FRONT_SHED_RATE_LIMITED,
+    FRONT_SHED_BACKPRESSURE,
+    FRONT_SHED_QUEUE_FULL,
+    FRONT_SHED_TIMED_OUT,
+];
 
 // --- replication & failover (`ltpg-replica`) --------------------------------
 

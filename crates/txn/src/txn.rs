@@ -102,6 +102,14 @@ impl TidGen {
         self.next += 1;
         t
     }
+
+    /// The TID the next call to [`next`](Self::next) will return, without
+    /// allocating it. Because fresh admissions are assigned TIDs in FIFO
+    /// submission order, an ingestion layer can mirror this to map commit
+    /// notifications back to submissions without a side channel.
+    pub fn peek(&self) -> u64 {
+        self.next
+    }
 }
 
 /// An ordered batch of transactions. Invariant: TIDs strictly increase in
