@@ -1,11 +1,12 @@
 #![warn(missing_docs)]
 
-//! # ltpg-baselines — the paper's eight comparison systems
+//! # ltpg-baselines — the paper's comparison systems
 //!
 //! Reimplementations of every system LTPG is evaluated against (paper
-//! §VI-A), all running over the shared substrates (`ltpg-storage` tables,
-//! the `ltpg-txn` IR, and — for the two GPU systems — the `ltpg-gpu-sim`
-//! device):
+//! §VI-A) plus two modern rivals (Block-STM and an OptME/Nezha-style
+//! address-graph scheduler), all running over the shared substrates
+//! (`ltpg-storage` tables, the `ltpg-txn` IR, and — for the GPU systems —
+//! the `ltpg-gpu-sim` device):
 //!
 //! | Engine | Kind | Essence |
 //! |---|---|---|
@@ -17,6 +18,8 @@
 //! | [`BambooEngine`] | CPU, nondeterministic | wound-wait 2PL with early lock release on hot rows and commit dependencies |
 //! | [`GputxEngine`] | GPU (simulated) | T-dependency graph from declared sets, rank-by-rank bulk-synchronous execution |
 //! | [`GaccoEngine`] | GPU (simulated) | pre-processing sort into per-key conflict order, wave execution with atomic-exchange optimization |
+//! | [`BlockStmEngine`] | GPU (simulated) | optimistic wave execution, read-set validation, deterministic TID-order finalization with deferral re-execution |
+//! | [`AddrGraphEngine`] | GPU (simulated) | address-sorted conflict graph from declared sets, topological layers executed in parallel, serial barriers for undeclarable txns |
 //!
 //! Every engine implements [`ltpg_txn::BatchEngine`], so the benchmark
 //! harness sweeps them interchangeably with LTPG. Deterministic engines
@@ -28,8 +31,10 @@
 //! [`cpu::CpuCostModel`] (30 workers, matching the paper's "30 CPU cores"),
 //! so GPU-vs-CPU throughput ratios are comparable in shape.
 
+pub mod addrgraph;
 pub mod aria;
 pub mod bamboo;
+pub mod blockstm;
 pub mod bohm;
 pub mod calvin;
 pub mod cpu;
@@ -38,7 +43,9 @@ pub mod gacco;
 pub mod gputx;
 pub mod pwv;
 
+pub use addrgraph::{AddrGraphCore, AddrGraphEngine, AddrGraphStats};
 pub use aria::AriaEngine;
+pub use blockstm::{BlockStmCore, BlockStmEngine, BlockStmStats};
 pub use bamboo::BambooEngine;
 pub use bohm::BohmEngine;
 pub use calvin::CalvinEngine;

@@ -1,0 +1,293 @@
+//! **Adaptive CC sweep** — the three candidate schedulers (LTPG,
+//! Block-STM, address graph) plus the adaptive engine across a contention
+//! grid (Table II/VII shaped): YCSB A/B/C at low and high Zipf alpha,
+//! plus a blind-write pile-up regime the YCSB mix cannot produce (hot
+//! location written but never read — the regime where optimism finishes
+//! in one wave while the graph serializes).
+//!
+//! Every engine of a regime consumes the **identical transaction stream**
+//! (same workload seed, fresh database clone), so throughput ratios are
+//! scheduler differences only. The record for each regime carries
+//! `adaptive_vs_best = adaptive MTPS / best fixed MTPS`; the acceptance
+//! bar (enforced by the CI `schedulers` job on the smoke variant) is
+//! `adaptive_vs_best >= 0.90` in *every* regime — the adaptive policy must
+//! track the per-regime winner within 10%.
+//!
+//! Writes `results/BENCH_adaptive.json`; `--smoke` runs a reduced grid
+//! into `results/BENCH_adaptive_smoke.json` so the committed full-run
+//! record survives CI.
+
+use ltpg::adaptive::{AdaptiveEngine, EngineChoice};
+use ltpg::{LtpgConfig, LtpgEngine, OptFlags};
+use ltpg_baselines::{AddrGraphEngine, BlockStmEngine};
+use ltpg_bench::*;
+use ltpg_storage::{ColId, Database, TableId};
+use ltpg_txn::{BatchEngine, IrOp, ProcId, Src, TidGen, Txn};
+use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+use serde::Serialize;
+
+#[derive(Serialize, Clone)]
+struct EngineRun {
+    engine: String,
+    mtps: f64,
+    commit_rate: f64,
+    latency_us: f64,
+}
+
+#[derive(Serialize)]
+struct Regime {
+    name: String,
+    /// Zipf skew of the key distribution ("-" for the synthetic regime).
+    alpha: f64,
+    /// Fraction of ops that write.
+    write_frac: f64,
+    fixed: Vec<EngineRun>,
+    adaptive: EngineRun,
+    /// Fastest fixed engine of this regime.
+    best_fixed: String,
+    /// Adaptive MTPS over best fixed MTPS (acceptance: >= 0.90).
+    adaptive_vs_best: f64,
+    /// Batches the adaptive policy ran on each scheduler.
+    choices: ChoiceCounts,
+}
+
+#[derive(Serialize, Default)]
+struct ChoiceCounts {
+    ltpg: usize,
+    blockstm: usize,
+    addrgraph: usize,
+}
+
+#[derive(Serialize)]
+struct Record {
+    schema: &'static str,
+    smoke: bool,
+    batches: usize,
+    batch_size: usize,
+    records: u64,
+    regimes: Vec<Regime>,
+    /// Minimum `adaptive_vs_best` across the grid — the acceptance number.
+    min_adaptive_vs_best: f64,
+}
+
+/// One engine over one regime's stream. `mk_gen` must return a generator
+/// producing the identical stream for every engine of the regime.
+fn run_engine(
+    engine: &mut dyn BatchEngine,
+    mk_gen: &mut dyn FnMut(usize) -> Vec<Txn>,
+    batches: usize,
+    batch_size: usize,
+) -> EngineRun {
+    let mut tids = TidGen::new();
+    let out = run_stream(engine, mk_gen, &mut tids, batches, batch_size);
+    EngineRun {
+        engine: engine.name().to_string(),
+        mtps: out.mtps(),
+        commit_rate: out.mean_commit_rate,
+        latency_us: latency_us(&out),
+    }
+}
+
+fn ltpg_cfg(batch_size: usize) -> LtpgConfig {
+    let mut cfg = LtpgConfig::with_opts(OptFlags::all());
+    cfg.max_batch = batch_size;
+    cfg.est_accesses_per_txn = 16;
+    cfg
+}
+
+/// Deterministic xorshift64* for the synthetic blind-pile regime.
+struct Rng64(u64);
+impl Rng64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Blind pile-up: `ops` blind updates per transaction, 60% of them on one
+/// hot row, the rest uniform — a write-only hot location (heartbeats,
+/// status flags), the regime YCSB A–C cannot express.
+fn blind_pile_batch(rng: &mut Rng64, table: TableId, records: u64, n: usize, ops: usize) -> Vec<Txn> {
+    (0..n)
+        .map(|_| {
+            let ops = (0..ops)
+                .map(|_| {
+                    let r = rng.next();
+                    let key = if r % 100 < 60 { 0 } else { (r >> 8) as i64 % records as i64 };
+                    IrOp::Update {
+                        table,
+                        key: Src::Const(key),
+                        col: ColId(0),
+                        val: Src::Const((r >> 32) as i64),
+                    }
+                })
+                .collect();
+            Txn::new(ProcId(0), vec![], ops)
+        })
+        .collect()
+}
+
+fn count_choices(engine: &AdaptiveEngine) -> ChoiceCounts {
+    let mut c = ChoiceCounts::default();
+    for choice in engine.choices() {
+        match choice {
+            EngineChoice::Ltpg => c.ltpg += 1,
+            EngineChoice::BlockStm => c.blockstm += 1,
+            EngineChoice::AddrGraph => c.addrgraph += 1,
+        }
+    }
+    c
+}
+
+/// Run all four engines over one regime and assemble the record row.
+fn run_regime(
+    name: String,
+    alpha: f64,
+    write_frac: f64,
+    db: &Database,
+    mut stream_for: impl FnMut() -> Box<dyn FnMut(usize) -> Vec<Txn>>,
+    batches: usize,
+    batch_size: usize,
+) -> Regime {
+    let mut fixed = Vec::new();
+    {
+        let mut e = LtpgEngine::new(db.deep_clone(), ltpg_cfg(batch_size));
+        fixed.push(run_engine(&mut e, &mut *stream_for(), batches, batch_size));
+    }
+    {
+        let mut e = BlockStmEngine::new(db.deep_clone());
+        fixed.push(run_engine(&mut e, &mut *stream_for(), batches, batch_size));
+    }
+    {
+        let mut e = AddrGraphEngine::new(db.deep_clone());
+        fixed.push(run_engine(&mut e, &mut *stream_for(), batches, batch_size));
+    }
+    let mut adaptive_engine = AdaptiveEngine::new(db.deep_clone(), ltpg_cfg(batch_size));
+    let adaptive = run_engine(&mut adaptive_engine, &mut *stream_for(), batches, batch_size);
+    let choices = count_choices(&adaptive_engine);
+
+    let best = fixed
+        .iter()
+        .max_by(|a, b| a.mtps.partial_cmp(&b.mtps).expect("finite mtps"))
+        .expect("three fixed engines")
+        .clone();
+    Regime {
+        name,
+        alpha,
+        write_frac,
+        adaptive_vs_best: if best.mtps > 0.0 { adaptive.mtps / best.mtps } else { 1.0 },
+        best_fixed: best.engine,
+        fixed,
+        adaptive,
+        choices,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = full_scale();
+    let (records, batches, batch_size) = if smoke {
+        (10_000u64, 6usize, 256usize)
+    } else if full {
+        (1_000_000, 12, 16_384)
+    } else {
+        (100_000, 8, 4_096)
+    };
+
+    let mut regimes = Vec::new();
+    let alphas = [0.4, 2.5];
+    let workloads = [(YcsbWorkload::C, 0.0), (YcsbWorkload::B, 0.05), (YcsbWorkload::A, 0.5)];
+    for (wl, wf) in workloads {
+        for alpha in alphas {
+            let ycfg = YcsbConfig::new(wl, records).with_alpha(alpha).with_headroom(batch_size * 8);
+            let (db, table, _) = YcsbGenerator::new(ycfg.clone());
+            let regime = run_regime(
+                format!("ycsb_{}_alpha_{alpha}", wl.letter().to_lowercase()),
+                alpha,
+                wf,
+                &db,
+                || {
+                    let mut gen = YcsbGenerator::from_parts(ycfg.clone(), table);
+                    Box::new(move |k| gen.gen_batch(k))
+                },
+                batches,
+                batch_size,
+            );
+            eprintln!(
+                "[adaptive] {}: best {} ({:.2} MTPS), adaptive {:.2} MTPS ({:.0}%)",
+                regime.name,
+                regime.best_fixed,
+                regime.fixed.iter().map(|f| f.mtps).fold(0.0, f64::max),
+                regime.adaptive.mtps,
+                regime.adaptive_vs_best * 100.0
+            );
+            regimes.push(regime);
+        }
+    }
+
+    // The synthetic blind-write pile-up (hot location never read).
+    {
+        let ycfg = YcsbConfig::new(YcsbWorkload::C, records).with_headroom(batch_size * 8);
+        let (db, table, _) = YcsbGenerator::new(ycfg);
+        let regime = run_regime(
+            "blind_pile_hot".to_string(),
+            -1.0,
+            1.0,
+            &db,
+            || {
+                let mut rng = Rng64(0x5EED_ADAD_5EED);
+                Box::new(move |k| blind_pile_batch(&mut rng, table, records, k, 8))
+            },
+            batches,
+            batch_size,
+        );
+        eprintln!(
+            "[adaptive] {}: best {} , adaptive {:.2} MTPS ({:.0}%)",
+            regime.name, regime.best_fixed, regime.adaptive.mtps, regime.adaptive_vs_best * 100.0
+        );
+        regimes.push(regime);
+    }
+
+    let min_adaptive_vs_best =
+        regimes.iter().map(|r| r.adaptive_vs_best).fold(f64::INFINITY, f64::min);
+
+    let header = vec![
+        "regime".to_string(),
+        "LTPG".to_string(),
+        "BlockSTM".to_string(),
+        "AddrGraph".to_string(),
+        "Adaptive".to_string(),
+        "best".to_string(),
+        "adaptive/best".to_string(),
+    ];
+    let rows: Vec<Vec<String>> = regimes
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.name.clone()];
+            for f in &r.fixed {
+                row.push(format!("{:.2}", f.mtps));
+            }
+            row.push(format!("{:.2}", r.adaptive.mtps));
+            row.push(r.best_fixed.clone());
+            row.push(format!("{:.0}%", r.adaptive_vs_best * 100.0));
+            row
+        })
+        .collect();
+    print_table("Adaptive CC — MTPS by regime (fixed engines vs adaptive)", &header, &rows);
+    eprintln!("[adaptive] min adaptive/best across grid: {:.1}%", min_adaptive_vs_best * 100.0);
+
+    let record = Record {
+        schema: "ltpg-adaptive-v1",
+        smoke,
+        batches,
+        batch_size,
+        records,
+        regimes,
+        min_adaptive_vs_best,
+    };
+    write_json(&results_name("BENCH_adaptive", smoke), &record);
+}

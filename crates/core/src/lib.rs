@@ -61,6 +61,7 @@
 //! assert_eq!(report.report.committed.len(), 1);
 //! ```
 
+pub mod adaptive;
 pub mod config;
 pub mod conflict;
 pub mod engine;
@@ -71,6 +72,7 @@ pub mod server;
 pub mod stats;
 mod util;
 
+pub use adaptive::{AdaptiveEngine, AdaptivePolicy, BatchProfile, EngineChoice};
 pub use config::{HotpathOpts, LtpgConfig, OptFlags, SyncMode};
 pub use conflict::ConflictLog;
 pub use engine::{

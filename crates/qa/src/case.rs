@@ -91,6 +91,12 @@ pub struct QaCase {
     /// directly fed server: batch *formation* must never change commit
     /// decisions, and final digests must be bit-identical.
     pub via_front: bool,
+    /// Also run the batches through the two competing schedulers
+    /// (Block-STM and the address graph): both promise bit-identical
+    /// equivalence to serial TID-order execution, so their commit sets
+    /// and final digests are differentially compared against a serial
+    /// replay and the ordered-serializability oracle.
+    pub via_schedulers: bool,
 }
 
 impl QaCase {

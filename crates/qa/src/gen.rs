@@ -101,6 +101,9 @@ pub fn generate(seed: u64) -> QaCase {
     // Drawn after `standbys` for the same seed-stability reason: route a
     // third of cases through the ingestion front-end's batcher too.
     let via_front = rng.gen_bool(0.33);
+    // Drawn after `via_front`, again for seed stability: half the cases
+    // also cross-check the Block-STM and address-graph schedulers.
+    let via_schedulers = rng.gen_bool(0.5);
     QaCase {
         seed,
         tables,
@@ -113,6 +116,7 @@ pub fn generate(seed: u64) -> QaCase {
         commutative_t0c0,
         standbys,
         via_front,
+        via_schedulers,
     }
 }
 

@@ -56,6 +56,9 @@ pub fn to_text(case: &QaCase) -> String {
     if case.via_front {
         let _ = writeln!(s, "via_front");
     }
+    if case.via_schedulers {
+        let _ = writeln!(s, "via_schedulers");
+    }
     if case.commutative_t0c0 {
         let _ = writeln!(s, "commutative_t0c0");
     }
@@ -321,6 +324,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
         commutative_t0c0: false,
         standbys: 0,
         via_front: false,
+        via_schedulers: false,
     };
     // (proc, params, ops) of the txn currently being collected.
     let mut open_txn: Option<(u16, Vec<i64>, Vec<IrOp>)> = None;
@@ -360,6 +364,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
             }
             "standbys" => case.standbys = num(lineno, toks.get(1))?,
             "via_front" => case.via_front = true,
+            "via_schedulers" => case.via_schedulers = true,
             "commutative_t0c0" => case.commutative_t0c0 = true,
             "table" => {
                 let name =

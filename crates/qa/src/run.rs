@@ -20,6 +20,11 @@
 //!    last checkpoint; the recovered database must digest-match the live
 //!    one.
 //!
+//! Cases with `via_front` add a fourth pass through the ingestion
+//! front-end, and cases with `via_schedulers` a fifth: the Block-STM and
+//! address-graph schedulers against a serial TID-order replay and the
+//! ordered-serializability oracle.
+//!
 //! The whole case runs under `catch_unwind`: an engine panic on generated
 //! input is itself a reportable (and shrinkable) divergence, not a harness
 //! crash.
@@ -27,9 +32,9 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ltpg::{LtpgEngine, LtpgServer};
-use ltpg_baselines::CpuFallbackEngine;
-use ltpg_txn::oracle::check_snapshot_serializable;
-use ltpg_txn::{Batch, BatchEngine, Tid, TidGen, Txn};
+use ltpg_baselines::{AddrGraphEngine, BlockStmEngine, CpuFallbackEngine};
+use ltpg_txn::oracle::{check_ordered_serializable, check_snapshot_serializable};
+use ltpg_txn::{execute_serial, Batch, BatchEngine, Tid, TidGen, Txn};
 
 use crate::QaCase;
 
@@ -141,6 +146,9 @@ pub struct CaseOutcome {
     pub drained: bool,
     /// Ticks the front-end pass drove (0 unless the case sets `via_front`).
     pub front_ticks: usize,
+    /// Transactions the scheduler pass committed on each competing
+    /// scheduler (0 unless the case sets `via_schedulers`).
+    pub scheduler_committed: usize,
 }
 
 fn tids(v: &[Tid]) -> Vec<u64> {
@@ -168,6 +176,9 @@ fn run_case_inner(case: &QaCase) -> Result<CaseOutcome, Divergence> {
     server_pass(case, &mut outcome)?;
     if case.via_front {
         front_pass(case, &mut outcome)?;
+    }
+    if case.via_schedulers {
+        scheduler_pass(case, &mut outcome)?;
     }
     Ok(outcome)
 }
@@ -303,6 +314,65 @@ fn server_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergenc
         }
         Err(e) => {
             return Err(Divergence::WalReplay { detail: format!("recovery failed: {e:?}") })
+        }
+    }
+    Ok(())
+}
+
+/// Pass 5 (cases with `via_schedulers`): the same batches run through the
+/// Block-STM and address-graph schedulers, each over its own clone of the
+/// initial database. Both promise exact equivalence to serial TID-order
+/// execution — aborting precisely the user aborts — so a serial replay is
+/// the reference: per-batch commit sets must match it, the committed
+/// sequence must satisfy the ordered-serializability oracle, and the final
+/// digests of all three paths must be bit-identical.
+fn scheduler_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergence> {
+    let serial = case.build_database();
+    let mut bstm = BlockStmEngine::new(serial.deep_clone());
+    let mut agraph = AddrGraphEngine::new(serial.deep_clone());
+    let mut tidgen = TidGen::new();
+    for (step, chunk) in case.batches().enumerate() {
+        let pre = serial.deep_clone();
+        let batch = Batch::assemble(Vec::new(), chunk.to_vec(), &mut tidgen);
+        let mut serial_committed: Vec<Tid> = Vec::new();
+        for txn in &batch.txns {
+            if execute_serial(&serial, txn).is_ok() {
+                serial_committed.push(txn.tid);
+            }
+        }
+        let brep = bstm.execute_batch(&batch);
+        if brep.committed != serial_committed {
+            return Err(Divergence::CommitSet {
+                site: "blockstm-vs-serial".into(),
+                step,
+                expected: tids(&serial_committed),
+                got: tids(&brep.committed),
+            });
+        }
+        let arep = agraph.execute_batch(&batch);
+        if arep.committed != serial_committed {
+            return Err(Divergence::CommitSet {
+                site: "addrgraph-vs-serial".into(),
+                step,
+                expected: tids(&serial_committed),
+                got: tids(&arep.committed),
+            });
+        }
+        let ordered: Vec<&Txn> = serial_committed
+            .iter()
+            .map(|t| batch.by_tid(*t).expect("committed tid in batch"))
+            .collect();
+        check_ordered_serializable(&pre, &ordered, &serial)
+            .map_err(|v| Divergence::Oracle { step, violation: format!("{v:?}") })?;
+        outcome.scheduler_committed += serial_committed.len();
+    }
+    let expected = serial.state_digest();
+    for (site, engine_db) in
+        [("blockstm-vs-serial", bstm.database()), ("addrgraph-vs-serial", agraph.database())]
+    {
+        let got = engine_db.state_digest();
+        if got != expected {
+            return Err(Divergence::Digest { site: site.into(), expected, got });
         }
     }
     Ok(())

@@ -231,6 +231,40 @@ pub const FRONT_SHED_COUNTERS: [&str; 4] = [
     FRONT_SHED_TIMED_OUT,
 ];
 
+// --- competing schedulers (`ltpg-baselines`) ---------------------------------
+
+/// Histogram: optimistic-execution waves Block-STM needed per batch (1 =
+/// everything validated on the first try).
+pub const BLOCKSTM_WAVES: &str = "blockstm.waves";
+/// Counter: transaction-wave deferrals — a transaction whose reads were
+/// invalidated by an earlier transaction's writes and had to re-execute in
+/// a later wave. The per-batch deferral fraction is the scheduler's
+/// RAW-pressure signal (blind writes never defer).
+pub const BLOCKSTM_DEFERRALS: &str = "blockstm.deferrals";
+/// Histogram: conflict-graph depth (layer count) per address-graph batch
+/// (1 = the whole batch ran as a single parallel layer).
+pub const ADDRGRAPH_LAYERS: &str = "addrgraph.layers";
+/// Counter: transactions with undeclarable access sets that the
+/// address-graph scheduler ran as serial barrier layers.
+pub const ADDRGRAPH_UNDECLARED: &str = "addrgraph.undeclared_txns";
+
+// --- adaptive concurrency control (`ltpg::AdaptiveEngine`) -------------------
+
+/// Counter: batches the adaptive policy routed to the LTPG engine.
+pub const ADAPTIVE_CHOICE_LTPG: &str = "adaptive.choice.ltpg";
+/// Counter: batches the adaptive policy routed to Block-STM.
+pub const ADAPTIVE_CHOICE_BLOCKSTM: &str = "adaptive.choice.blockstm";
+/// Counter: batches the adaptive policy routed to the address-graph
+/// scheduler.
+pub const ADAPTIVE_CHOICE_ADDRGRAPH: &str = "adaptive.choice.addrgraph";
+/// Counter: batches where the adaptive policy picked a different engine
+/// than the previous batch.
+pub const ADAPTIVE_SWITCHES: &str = "adaptive.switches";
+
+/// All adaptive per-engine choice counters, in export order.
+pub const ADAPTIVE_CHOICES: [&str; 3] =
+    [ADAPTIVE_CHOICE_LTPG, ADAPTIVE_CHOICE_BLOCKSTM, ADAPTIVE_CHOICE_ADDRGRAPH];
+
 // --- replication & failover (`ltpg-replica`) --------------------------------
 
 /// Counter: standbys promoted to primary (failover cutovers).

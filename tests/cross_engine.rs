@@ -7,7 +7,7 @@
 use ltpg_bench::{build_tpcc_engine, SystemKind};
 use ltpg_txn::engine::CommitSemantics;
 use ltpg_txn::oracle::{check_ordered_serializable, check_snapshot_serializable};
-use ltpg_txn::{Batch, TidGen, Txn};
+use ltpg_txn::{Batch, BatchEngine, TidGen, Txn};
 use ltpg_workloads::tpcc::check_invariants;
 use ltpg_workloads::{TpccConfig, TpccGenerator};
 
@@ -89,6 +89,90 @@ fn nondeterministic_engines_commit_everything_too() {
         assert_eq!(report.committed.len(), BATCH, "{} left transactions behind", kind.name());
         check_invariants(engine.database(), &tables, W).unwrap();
     }
+}
+
+#[test]
+fn schedulers_match_serial_commit_sets_on_seeded_schedules() {
+    // The Block-STM and address-graph schedulers both promise bit-identical
+    // equivalence to serial TID-order execution — including *which*
+    // transactions commit (the only aborts either may produce are user
+    // aborts, e.g. duplicate inserts, which serial execution aborts too).
+    // 32 seeded generated schedules, three sites each (Block-STM,
+    // address graph, serial replay), compared pairwise per batch.
+    for seed in 0..32u64 {
+        let case = ltpg_qa::gen::generate(seed);
+        let db0 = case.build_database();
+        let mut stm = ltpg_baselines::BlockStmEngine::new(db0.deep_clone());
+        let mut ag = ltpg_baselines::AddrGraphEngine::new(db0.deep_clone());
+        let serial_db = db0.deep_clone();
+        let mut tids = TidGen::new();
+        for chunk in case.batches() {
+            let batch = Batch::assemble(Vec::new(), chunk.to_vec(), &mut tids);
+            let stm_report = stm.execute_batch(&batch);
+            let ag_report = ag.execute_batch(&batch);
+            let mut serial_committed = Vec::new();
+            for txn in &batch.txns {
+                if ltpg_txn::execute_serial(&serial_db, txn).is_ok() {
+                    serial_committed.push(txn.tid);
+                }
+            }
+            assert_eq!(
+                stm_report.committed, serial_committed,
+                "seed {seed}: Block-STM commit set diverges from serial TID order"
+            );
+            assert_eq!(
+                ag_report.committed, serial_committed,
+                "seed {seed}: address-graph commit set diverges from serial TID order"
+            );
+        }
+        let serial_digest = serial_db.state_digest();
+        assert_eq!(
+            stm.database().state_digest(),
+            serial_digest,
+            "seed {seed}: Block-STM final state diverges"
+        );
+        assert_eq!(
+            ag.database().state_digest(),
+            serial_digest,
+            "seed {seed}: address-graph final state diverges"
+        );
+    }
+}
+
+#[test]
+fn adaptive_choice_trace_and_state_are_deterministic() {
+    // Same seed, same stream → the adaptive engine must pick the same
+    // scheduler for every batch and land on the same final state. The
+    // stream crosses regimes (read-only, then write-heavy hot) so the
+    // trace actually exercises the policy, not just one branch.
+    use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+    let run = || {
+        let cfg = YcsbConfig::new(YcsbWorkload::C, 2_000).with_alpha(2.5).with_headroom(4096);
+        let (db, table, _) = YcsbGenerator::new(cfg.clone());
+        let mut engine = ltpg::AdaptiveEngine::new(db, ltpg::LtpgConfig::default());
+        let mut tids = TidGen::new();
+        for round in 0..6 {
+            // Hot read-only (→ address graph) then low-skew write-heavy
+            // (→ LTPG), so the trace must contain a switch.
+            let (wl, alpha) =
+                if round < 3 { (YcsbWorkload::C, 2.5) } else { (YcsbWorkload::A, 0.4) };
+            let mut gen = YcsbGenerator::from_parts(
+                YcsbConfig::new(wl, 2_000).with_alpha(alpha).with_headroom(4096).with_seed(round),
+                table,
+            );
+            let batch = Batch::assemble(Vec::new(), gen.gen_batch(256), &mut tids);
+            engine.execute_batch(&batch);
+        }
+        (engine.choices().to_vec(), engine.into_database().state_digest())
+    };
+    let (choices_a, digest_a) = run();
+    let (choices_b, digest_b) = run();
+    assert_eq!(choices_a, choices_b, "adaptive choice trace must be seed-deterministic");
+    assert_eq!(digest_a, digest_b, "adaptive final state must be seed-deterministic");
+    assert!(
+        choices_a.windows(2).any(|w| w[0] != w[1]),
+        "stream should cross regimes so the trace exercises a switch: {choices_a:?}"
+    );
 }
 
 #[test]
