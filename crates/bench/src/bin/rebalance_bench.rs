@@ -1,0 +1,178 @@
+//! **Elastic rebalance** — shard scaling at 8–16 devices with mid-run
+//! topology changes.
+//!
+//! Extends the `shard_scaling` sweep upward: each configuration drives a
+//! [`ShardedServer`] over partitioned YCSB-A at 8/12/16 shards and, one
+//! third and two thirds of the way through the stream, cuts over a range
+//! **split** (hot shard's lower range halved, upper half re-homed to the
+//! last shard) and a range **merge** (one middle shard folded into its
+//! neighbour) at aligned batch boundaries. A from-scratch run at the
+//! final topology over the identical stream is the correctness bar: the
+//! bench *asserts* every post-cutover slice digest matches it, then
+//! reports throughput with and without the mid-run rebalances plus the
+//! migration volume.
+//!
+//! `--smoke` runs a tiny 2/4-shard grid for CI schema validation; the
+//! digest-equality assertion holds in both modes.
+
+use ltpg::{LtpgConfig, ServerConfig};
+use ltpg_bench::*;
+use ltpg_shard::{ycsb_partitioner, RebalanceOp, RebalancePlan, ShardedServer};
+use ltpg_workloads::{YcsbConfig, YcsbGenerator, YcsbWorkload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    shards: u32,
+    cross_shard_pct: u32,
+    zipf_alpha: f64,
+    split_cutover: u64,
+    merge_cutover: u64,
+    committed: u64,
+    batches: u64,
+    rebalances: u64,
+    rows_migrated: u64,
+    cross_shard_fraction: f64,
+    sim_ms: f64,
+    mtps: f64,
+    mtps_fresh_topology: f64,
+    digest_match: bool,
+}
+
+fn make_server(
+    db: &ltpg_storage::Database,
+    part: &ltpg_shard::Partitioner,
+    batch: usize,
+) -> ShardedServer {
+    ShardedServer::new(
+        db.deep_clone(),
+        part.clone(),
+        LtpgConfig::default(),
+        ServerConfig { batch_size: batch, pipelined: false, ..ServerConfig::default() },
+    )
+}
+
+fn mtps(committed: u64, sim_ns: f64) -> f64 {
+    if sim_ns > 0.0 {
+        committed as f64 * 1e3 / sim_ns
+    } else {
+        0.0
+    }
+}
+
+fn run_config(shards: u32, records: u64, batch: usize, batches: usize) -> Point {
+    let cross_pct = 10;
+    let alpha = 0.4;
+    let cfg = YcsbConfig::new(YcsbWorkload::A, records)
+        .with_alpha(alpha)
+        .with_seed(0x5ca1_ab1e)
+        .with_partitions(shards, cross_pct);
+    let (db, table, mut gen) = YcsbGenerator::new(cfg.clone());
+    let part = ycsb_partitioner(shards, table, &cfg);
+    let size = cfg.partition_size() as i64;
+
+    let split_cutover = (batches as u64 / 3).max(1);
+    let merge_cutover = (2 * batches as u64 / 3).max(split_cutover + 1);
+    let split = RebalancePlan {
+        cutover: split_cutover,
+        ops: vec![RebalanceOp::Split { table, at: size / 2, to: shards - 1 }],
+    };
+    let merge = RebalancePlan {
+        cutover: merge_cutover,
+        ops: vec![RebalanceOp::Merge { table, from: shards / 2, to: shards / 2 - 1 }],
+    };
+    let final_part = merge
+        .apply_to(&split.apply_to(&part).expect("split validates"))
+        .expect("merge validates");
+
+    let stream = gen.gen_batch(batch * batches);
+    let mut rebalanced = make_server(&db, &part, batch);
+    rebalanced.submit_all(stream.iter().cloned());
+    rebalanced.schedule_rebalance(split).expect("split scheduled");
+    let mut pending_merge = Some(merge);
+    for _ in 0..(batches + 32) * 12 {
+        if pending_merge.is_some() && !rebalanced.rebalance_pending() {
+            rebalanced.schedule_rebalance(pending_merge.take().unwrap()).expect("merge scheduled");
+        }
+        let out = rebalanced.tick();
+        if out.is_none() && rebalanced.pending() == 0 {
+            break;
+        }
+    }
+    assert!(
+        !rebalanced.rebalance_pending() && rebalanced.stats().rebalances == 2,
+        "both plans must cut over mid-stream (applied {})",
+        rebalanced.stats().rebalances
+    );
+
+    // The correctness bar: a from-scratch cluster at the final topology
+    // over the identical stream must agree slice-for-slice.
+    let mut fresh = make_server(&db, &final_part, batch);
+    fresh.submit_all(stream);
+    let fresh_stats = fresh.drain(batches + 32).clone();
+    let digest_match = (0..shards)
+        .all(|s| rebalanced.database(s).state_digest() == fresh.database(s).state_digest());
+    assert!(digest_match, "post-cutover slices diverged from the from-scratch topology");
+
+    let stats = rebalanced.stats().clone();
+    Point {
+        shards,
+        cross_shard_pct: cross_pct,
+        zipf_alpha: alpha,
+        split_cutover,
+        merge_cutover,
+        committed: stats.committed,
+        batches: stats.batches,
+        rebalances: stats.rebalances,
+        rows_migrated: stats.rows_migrated,
+        cross_shard_fraction: stats.cross_shard_fraction(),
+        sim_ms: stats.sim_ns / 1e6,
+        mtps: mtps(stats.committed, stats.sim_ns),
+        mtps_fresh_topology: mtps(fresh_stats.committed, fresh_stats.sim_ns),
+        digest_match,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (shard_counts, records, batch, batches): (&[u32], u64, usize, usize) = if smoke {
+        (&[2, 4], 8_192, 512, 4)
+    } else {
+        (&[8, 12, 16], 65_536, 4_096, 10)
+    };
+
+    let mut points: Vec<Point> = Vec::new();
+    let mut rows = Vec::new();
+    for &n in shard_counts {
+        let p = run_config(n, records, batch, batches);
+        eprintln!(
+            "[rebalance_bench] {n} shards: {:.3} MTPS with mid-run split+merge \
+             (fresh topology {:.3}), {} rows migrated",
+            p.mtps, p.mtps_fresh_topology, p.rows_migrated
+        );
+        rows.push(vec![
+            n.to_string(),
+            format!("{}+{}", p.split_cutover, p.merge_cutover),
+            p.rows_migrated.to_string(),
+            format!("{:.1}", 100.0 * p.cross_shard_fraction),
+            format!("{:.3}", p.mtps),
+            format!("{:.3}", p.mtps_fresh_topology),
+            p.digest_match.to_string(),
+        ]);
+        points.push(p);
+    }
+    print_table(
+        "Elastic rebalance — YCSB-A with mid-run split+merge cutover",
+        &[
+            "shards".to_string(),
+            "cutovers".to_string(),
+            "rows migrated".to_string(),
+            "observed cross %".to_string(),
+            "MTPS (rebalanced)".to_string(),
+            "MTPS (fresh)".to_string(),
+            "digests match".to_string(),
+        ],
+        &rows,
+    );
+    write_json(&results_name("BENCH_rebalance", smoke), &points);
+}

@@ -97,6 +97,12 @@ pub struct QaCase {
     /// and final digests are differentially compared against a serial
     /// replay and the ordered-serializability oracle.
     pub via_schedulers: bool,
+    /// Also run the sharded pass a second time with one mid-stream
+    /// rebalance plan scheduled at an aligned batch boundary (table 0's
+    /// rule is swapped): the topology cutover must be invisible to the
+    /// commit history and to the final slice digests. Only meaningful
+    /// when `shards > 1`.
+    pub via_rebalance: bool,
 }
 
 impl QaCase {

@@ -59,6 +59,9 @@ pub fn to_text(case: &QaCase) -> String {
     if case.via_schedulers {
         let _ = writeln!(s, "via_schedulers");
     }
+    if case.via_rebalance {
+        let _ = writeln!(s, "via_rebalance");
+    }
     if case.commutative_t0c0 {
         let _ = writeln!(s, "commutative_t0c0");
     }
@@ -325,6 +328,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
         standbys: 0,
         via_front: false,
         via_schedulers: false,
+        via_rebalance: false,
     };
     // (proc, params, ops) of the txn currently being collected.
     let mut open_txn: Option<(u16, Vec<i64>, Vec<IrOp>)> = None;
@@ -365,6 +369,7 @@ pub fn from_text(text: &str) -> Result<QaCase, ParseError> {
             "standbys" => case.standbys = num(lineno, toks.get(1))?,
             "via_front" => case.via_front = true,
             "via_schedulers" => case.via_schedulers = true,
+            "via_rebalance" => case.via_rebalance = true,
             "commutative_t0c0" => case.commutative_t0c0 = true,
             "table" => {
                 let name =

@@ -23,7 +23,9 @@
 //! Cases with `via_front` add a fourth pass through the ingestion
 //! front-end, and cases with `via_schedulers` a fifth: the Block-STM and
 //! address-graph schedulers against a serial TID-order replay and the
-//! ordered-serializability oracle.
+//! ordered-serializability oracle. Cases with `via_rebalance` add a
+//! sixth: the sharded pass replayed with one mid-stream rebalance plan,
+//! whose batch-boundary cutover must be invisible to the commit history.
 //!
 //! The whole case runs under `catch_unwind`: an engine panic on generated
 //! input is itself a reportable (and shrinkable) divergence, not a harness
@@ -149,6 +151,10 @@ pub struct CaseOutcome {
     /// Transactions the scheduler pass committed on each competing
     /// scheduler (0 unless the case sets `via_schedulers`).
     pub scheduler_committed: usize,
+    /// Whether the rebalance pass reached its cutover and swapped the
+    /// topology mid-stream (always false unless the case sets
+    /// `via_rebalance`; short schedules may drain before the cutover).
+    pub rebalance_applied: bool,
 }
 
 fn tids(v: &[Tid]) -> Vec<u64> {
@@ -179,6 +185,9 @@ fn run_case_inner(case: &QaCase) -> Result<CaseOutcome, Divergence> {
     }
     if case.via_schedulers {
         scheduler_pass(case, &mut outcome)?;
+    }
+    if case.via_rebalance && case.shards > 1 {
+        rebalance_pass(case, &mut outcome)?;
     }
     Ok(outcome)
 }
@@ -373,6 +382,88 @@ fn scheduler_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Diverg
         let got = engine_db.state_digest();
         if got != expected {
             return Err(Divergence::Digest { site: site.into(), expected, got });
+        }
+    }
+    Ok(())
+}
+
+/// Pass 6 (cases with `via_rebalance`): the sharded pass replayed with
+/// one mid-stream topology change. A plan swapping table 0's rule
+/// (replicated if it wasn't, hash if it was) is scheduled before the run
+/// with cutover at batch 1, so the first batch routes under the old
+/// rules and everything after the cutover under the new ones, with rows
+/// migrated between slices at the barrier. The differential contract is
+/// the point: against an untouched single-device reference, per-tick
+/// commit/abort sequences must stay identical through the cutover, and
+/// every final slice must equal the reference's restriction under
+/// whichever partitioner is live at the end (the new one once the
+/// cutover fired; the old one if the schedule drained first).
+fn rebalance_pass(case: &QaCase, outcome: &mut CaseOutcome) -> Result<(), Divergence> {
+    use ltpg_shard::{RebalanceOp, RebalancePlan, TableRule};
+    let cfg = case.engine_config();
+    let scfg = case.server_config();
+    let db = case.build_database();
+    let part = case.partitioner();
+    let mut single = LtpgServer::new(db.deep_clone(), cfg.clone(), scfg.clone());
+    let mut sharded = ltpg_shard::ShardedServer::new(db, part.clone(), cfg, scfg);
+    let new_rule = match case.tables.first().map(|t| t.rule) {
+        Some(crate::ShardRule::Replicated) => TableRule::Hash,
+        _ => TableRule::Replicated,
+    };
+    let plan = RebalancePlan {
+        cutover: 1,
+        ops: vec![RebalanceOp::SetRule { table: ltpg_storage::TableId(0), rule: new_rule }],
+    };
+    let new_part = plan.apply_to(&part).expect("rule-swap plan validates");
+    sharded.schedule_rebalance(plan).expect("plan scheduled before any batch logs");
+    single.submit_all(case.txns.iter().cloned());
+    sharded.submit_all(case.txns.iter().cloned());
+
+    let max_ticks = (case.txns.len() / case.batch_size.max(1) + 2) * 12 + 16;
+    for tick in 0..max_ticks {
+        let a = sharded.tick();
+        let b = single.tick();
+        match (&a, &b) {
+            (Some(sa), Some(sb)) => {
+                if sa.committed != sb.committed || sa.aborted != sb.aborted {
+                    return Err(Divergence::Lockstep {
+                        step: tick,
+                        detail: format!(
+                            "rebalance pass: sharded committed {:?} aborted {:?}; \
+                             single committed {:?} aborted {:?}",
+                            tids(&sa.committed),
+                            tids(&sa.aborted),
+                            tids(&sb.committed),
+                            tids(&sb.aborted)
+                        ),
+                    });
+                }
+            }
+            (None, None) => {}
+            _ => {
+                return Err(Divergence::Lockstep {
+                    step: tick,
+                    detail: format!(
+                        "rebalance pass: one server idle before the other \
+                         (sharded idle: {}, single idle: {})",
+                        a.is_none(),
+                        b.is_none()
+                    ),
+                });
+            }
+        }
+        if a.is_none() && b.is_none() && sharded.pending() == 0 && single.pending() == 0 {
+            break;
+        }
+    }
+    outcome.rebalance_applied = !sharded.rebalance_pending();
+    let live = if sharded.rebalance_pending() { &part } else { &new_part };
+    for s in 0..sharded.shard_count() {
+        let expected =
+            single.database().partition_clone(live.slice_pred(s)).state_digest();
+        let got = sharded.database(s).state_digest();
+        if expected != got {
+            return Err(Divergence::ShardSlice { shard: s, expected, got });
         }
     }
     Ok(())

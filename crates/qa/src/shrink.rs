@@ -188,6 +188,7 @@ fn references_table(case: &QaCase, ti: usize) -> bool {
 fn shrink_config(cur: &mut QaCase, div: &mut Divergence, ctx: &mut Ctx) -> bool {
     let mut progress = false;
     let candidates: Vec<fn(&mut QaCase)> = vec![
+        |c| c.via_rebalance = false,
         |c| c.via_schedulers = false,
         |c| c.via_front = false,
         |c| c.standbys = 0,

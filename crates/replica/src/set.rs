@@ -242,6 +242,27 @@ impl ReplicaSet {
         }
     }
 
+    /// Serve a snapshot read from the freshest alive standby row: the row
+    /// values of `(table, key)` in shard `shard`'s slice, together with
+    /// the batch id of the cut (batches `< cut` are applied). Standbys
+    /// trail the tail by a few batches, so the cut is slightly stale but
+    /// **consistent** — a row never holds a partially applied batch — and
+    /// the read costs the serving engines nothing. `None` when the pool
+    /// is empty or the key is not present at the cut.
+    pub fn snapshot_read(
+        &self,
+        shard: usize,
+        table: ltpg_storage::TableId,
+        key: i64,
+    ) -> Option<(Vec<i64>, u64)> {
+        let row = self.rows.iter().filter(|r| r.alive).max_by_key(|r| r.applied)?;
+        let engine = row.engines.get(shard)?.as_ref()?;
+        let db = ltpg_txn::BatchEngine::database(engine);
+        let t = db.table(table);
+        let rid = t.lookup(key)?;
+        Some((t.row_values(rid), row.applied))
+    }
+
     /// Lag (batches behind `tail`) of every alive row, by stable row id.
     pub fn lags(&self, tail: u64) -> Vec<(usize, u64)> {
         self.rows

@@ -25,6 +25,13 @@
 //!   per-shard fault injection: losing one device degrades only that
 //!   shard to the scoped CPU twin ([`CpuShardEngine`]), rebuilt by joint
 //!   lockstep WAL replay, while the history stays bit-identical.
+//! * Topology is **elastic**: a [`RebalancePlan`] (range splits, merges,
+//!   moves, or wholesale rule swaps) validated against the live
+//!   [`Partitioner`] cuts over atomically at an aligned batch id — no
+//!   quiescing: batches before the cutover route under the old rules,
+//!   batches from it under the new ones, with rows migrated between
+//!   slices at the barrier. A load-driven [`RebalancePlanner`] can emit
+//!   plans automatically from per-shard telemetry.
 //! * With a warm standby pool attached
 //!   ([`ShardedServer::attach_replicas`], backed by `ltpg-replica`),
 //!   device loss instead promotes a full standby row — one engine per
@@ -38,12 +45,17 @@
 
 pub mod cpu;
 pub mod partition;
+pub mod rebalance;
 pub mod remote;
 pub mod router;
 pub mod server;
 
 pub use cpu::{CpuPrepared, CpuShardEngine};
-pub use partition::{tpcc_partitioner, ycsb_partitioner, Partitioner, TableRule};
+pub use partition::{tpcc_partitioner, ycsb_partitioner, PartitionError, Partitioner, TableRule};
+pub use rebalance::{
+    plan_split, Imbalance, PlannerConfig, RebalanceError, RebalanceOp, RebalancePlan,
+    RebalancePlanner,
+};
 pub use remote::{ChainStore, RemoteView};
 pub use router::{Route, Router};
 pub use server::{ShardedBatchSummary, ShardedServer, ShardedStats};

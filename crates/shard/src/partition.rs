@@ -13,17 +13,25 @@
 //! granularity is at least one membership partition (e.g. the TPC-C
 //! order-table strides, which are multiples of 2⁴⁰), the membership owner
 //! coincides with the row owner of every key in the partition.
+//!
+//! Rules are **validated at construction** ([`Partitioner::try_new`] /
+//! [`Partitioner::try_with_rule`]): unsorted or oversized range bounds and
+//! non-positive strides are rejected with a typed [`PartitionError`]
+//! instead of being silently clamped at routing time, where a mis-ordered
+//! rebalance plan would mis-home rows before anyone noticed.
 
 use ltpg_storage::{TableId, MEMBERSHIP_PARTITION_SHIFT};
 use ltpg_workloads::tpcc::TpccTables;
 use ltpg_workloads::YcsbConfig;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// How one table's keys map to shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableRule {
-    /// Multiplicative hash of the key (Fibonacci constant), modulo the
-    /// shard count. The default for tables with no exploitable structure.
+    /// Multiplicative hash of the key (Fibonacci constant), mapped to a
+    /// shard by widened multiply-shift. The default for tables with no
+    /// exploitable structure.
     Hash,
     /// `owner = (key div stride) mod shards`. Composite keys that pack a
     /// partition-aligned field (e.g. the TPC-C warehouse) above a
@@ -32,13 +40,26 @@ pub enum TableRule {
         /// Keys per contiguous run; must be positive.
         stride: i64,
     },
-    /// Sorted split points: `owner = #{b in bounds : b <= key}`, clamped
-    /// to the last shard. Pairs with contiguous key-range generators
+    /// Sorted split points: `owner = #{b in bounds : b <= key}`. Pairs
+    /// with contiguous key-range generators
     /// ([`YcsbConfig::partition_bounds`]).
     Range {
-        /// Ascending split points; `len + 1` ranges serve `len + 1 <= n`
-        /// shards (extra shards simply own no range of this table).
+        /// Strictly ascending split points; `len + 1` ranges require
+        /// `len + 1 <= n` shards (extra shards simply own no range of
+        /// this table). Validated at construction.
         bounds: Vec<i64>,
+    },
+    /// Range partitioning with an explicit home per range: range `i`
+    /// (keys in `[bounds[i-1], bounds[i])`) is owned by `homes[i]`.
+    /// Unlike [`TableRule::Range`], homes need not be `0..len` — this is
+    /// the shape rebalance plans produce when they split, merge, or move
+    /// ranges between shards.
+    RangeMap {
+        /// Strictly ascending split points.
+        bounds: Vec<i64>,
+        /// Home shard per range; `homes.len() == bounds.len() + 1` and
+        /// every home `< shards`. Validated at construction.
+        homes: Vec<u32>,
     },
     /// Every shard holds a full copy. Reads are always local; writes must
     /// reach every copy, so the router broadcasts writers of replicated
@@ -46,8 +67,114 @@ pub enum TableRule {
     Replicated,
 }
 
+/// Why a rule set was rejected at construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The partitioner was asked to cover zero shards.
+    NoShards,
+    /// A stride rule carried a non-positive stride.
+    BadStride {
+        /// The offending stride.
+        stride: i64,
+    },
+    /// Range bounds were not strictly ascending.
+    UnsortedBounds {
+        /// Index of the first bound that is `<=` its predecessor.
+        at: usize,
+    },
+    /// A `Range` rule named more ranges than there are shards, so the
+    /// trailing ranges would all collapse onto the last shard.
+    TooManyRanges {
+        /// Ranges the rule describes (`bounds.len() + 1`).
+        ranges: usize,
+        /// Shards available.
+        shards: u32,
+    },
+    /// A `RangeMap` rule's home list does not cover its ranges
+    /// one-to-one.
+    HomesMismatch {
+        /// Homes supplied.
+        homes: usize,
+        /// Ranges the bounds describe (`bounds.len() + 1`).
+        ranges: usize,
+    },
+    /// A `RangeMap` home pointed past the last shard.
+    HomeOutOfRange {
+        /// The offending home.
+        home: u32,
+        /// Shards available.
+        shards: u32,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::NoShards => write!(f, "need at least one shard"),
+            PartitionError::BadStride { stride } => {
+                write!(f, "stride must be positive (got {stride})")
+            }
+            PartitionError::UnsortedBounds { at } => {
+                write!(f, "range bounds must be strictly ascending (violation at index {at})")
+            }
+            PartitionError::TooManyRanges { ranges, shards } => {
+                write!(f, "range rule describes {ranges} ranges but only {shards} shards exist")
+            }
+            PartitionError::HomesMismatch { homes, ranges } => {
+                write!(f, "range map has {homes} homes for {ranges} ranges")
+            }
+            PartitionError::HomeOutOfRange { home, shards } => {
+                write!(f, "range map home {home} out of range for {shards} shards")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Strictly-ascending check shared by the range rules.
+fn check_ascending(bounds: &[i64]) -> Result<(), PartitionError> {
+    if let Some(at) = (1..bounds.len()).find(|&i| bounds[i] <= bounds[i - 1]) {
+        return Err(PartitionError::UnsortedBounds { at });
+    }
+    Ok(())
+}
+
+/// Validate one rule against a shard count.
+fn check_rule(rule: &TableRule, shards: u32) -> Result<(), PartitionError> {
+    match rule {
+        TableRule::Hash | TableRule::Replicated => Ok(()),
+        TableRule::Stride { stride } => {
+            if *stride > 0 {
+                Ok(())
+            } else {
+                Err(PartitionError::BadStride { stride: *stride })
+            }
+        }
+        TableRule::Range { bounds } => {
+            check_ascending(bounds)?;
+            let ranges = bounds.len() + 1;
+            if ranges > shards as usize {
+                return Err(PartitionError::TooManyRanges { ranges, shards });
+            }
+            Ok(())
+        }
+        TableRule::RangeMap { bounds, homes } => {
+            check_ascending(bounds)?;
+            let ranges = bounds.len() + 1;
+            if homes.len() != ranges {
+                return Err(PartitionError::HomesMismatch { homes: homes.len(), ranges });
+            }
+            if let Some(&home) = homes.iter().find(|h| **h >= shards) {
+                return Err(PartitionError::HomeOutOfRange { home, shards });
+            }
+            Ok(())
+        }
+    }
+}
+
 /// A deterministic `(table, key) -> shard` mapping.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partitioner {
     shards: u32,
     default_rule: TableRule,
@@ -56,13 +183,21 @@ pub struct Partitioner {
 
 impl Partitioner {
     /// A partitioner over `shards` shards applying `default_rule` to every
-    /// table without a specific rule.
+    /// table without a specific rule. Panics on an invalid rule; see
+    /// [`try_new`](Self::try_new) for the fallible form.
     pub fn new(shards: u32, default_rule: TableRule) -> Self {
-        assert!(shards >= 1, "need at least one shard");
-        if let TableRule::Stride { stride } = default_rule {
-            assert!(stride > 0, "stride must be positive");
+        Partitioner::try_new(shards, default_rule)
+            .unwrap_or_else(|e| panic!("invalid partitioner: {e}"))
+    }
+
+    /// Fallible [`new`](Self::new): rejects zero shards and malformed
+    /// rules with a typed error instead of panicking.
+    pub fn try_new(shards: u32, default_rule: TableRule) -> Result<Self, PartitionError> {
+        if shards < 1 {
+            return Err(PartitionError::NoShards);
         }
-        Partitioner { shards, default_rule, rules: BTreeMap::new() }
+        check_rule(&default_rule, shards)?;
+        Ok(Partitioner { shards, default_rule, rules: BTreeMap::new() })
     }
 
     /// A hash-everything partitioner (no table structure assumed).
@@ -70,13 +205,19 @@ impl Partitioner {
         Partitioner::new(shards, TableRule::Hash)
     }
 
-    /// Attach a per-table rule (builder style).
-    pub fn with_rule(mut self, table: TableId, rule: TableRule) -> Self {
-        if let TableRule::Stride { stride } = rule {
-            assert!(stride > 0, "stride must be positive");
-        }
+    /// Attach a per-table rule (builder style). Panics on an invalid
+    /// rule; see [`try_with_rule`](Self::try_with_rule).
+    pub fn with_rule(self, table: TableId, rule: TableRule) -> Self {
+        self.try_with_rule(table, rule)
+            .unwrap_or_else(|e| panic!("invalid rule for table: {e}"))
+    }
+
+    /// Fallible [`with_rule`](Self::with_rule): rejects unsorted or
+    /// oversized range bounds, bad strides, and out-of-range homes.
+    pub fn try_with_rule(mut self, table: TableId, rule: TableRule) -> Result<Self, PartitionError> {
+        check_rule(&rule, self.shards)?;
         self.rules.insert(table, rule);
-        self
+        Ok(self)
     }
 
     /// Number of shards.
@@ -88,6 +229,16 @@ impl Partitioner {
         self.rules.get(&table).unwrap_or(&self.default_rule)
     }
 
+    /// The effective rule for `table` (its override, or the default).
+    pub fn table_rule(&self, table: TableId) -> &TableRule {
+        self.rule(table)
+    }
+
+    /// The rule applied to tables without a per-table override.
+    pub fn default_rule(&self) -> &TableRule {
+        &self.default_rule
+    }
+
     /// Whether every shard holds a full copy of `table`.
     pub fn is_replicated(&self, table: TableId) -> bool {
         matches!(self.rule(table), TableRule::Replicated)
@@ -96,18 +247,24 @@ impl Partitioner {
     /// Home shard of `(table, key)`. Replicated tables report shard 0 as
     /// their nominal home; use [`owns_row`](Self::owns_row) for ownership.
     pub fn home(&self, table: TableId, key: i64) -> u32 {
-        let n = u64::from(self.shards);
         match self.rule(table) {
             TableRule::Hash => {
                 let h = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-                ((h >> 32) % n) as u32
+                // Widened multiply-shift: maps the full 64-bit hash onto
+                // `0..shards` without the modulo bias (and entropy loss)
+                // of `(h >> 32) % n`.
+                ((u128::from(h) * u128::from(self.shards)) >> 64) as u32
             }
             TableRule::Stride { stride } => {
                 key.div_euclid(*stride).rem_euclid(i64::from(self.shards)) as u32
             }
             TableRule::Range { bounds } => {
-                let i = bounds.partition_point(|b| *b <= key) as u32;
-                i.min(self.shards - 1)
+                // Construction guarantees `bounds.len() + 1 <= shards`,
+                // so the index is always a valid shard — no clamp.
+                bounds.partition_point(|b| *b <= key) as u32
+            }
+            TableRule::RangeMap { bounds, homes } => {
+                homes[bounds.partition_point(|b| *b <= key)]
             }
             TableRule::Replicated => 0,
         }
@@ -195,9 +352,91 @@ mod tests {
         for k in 0..1_000 {
             let h = p.home(T, k);
             assert_eq!(h, p.home(T, k));
+            assert!(h < 8);
             hit[h as usize] = true;
         }
         assert!(hit.iter().all(|&b| b), "all shards should receive keys");
+    }
+
+    #[test]
+    fn hash_rule_is_unbiased_across_odd_shard_counts() {
+        // The widened multiply-shift should keep every shard within a
+        // loose tolerance of the uniform share, even for shard counts
+        // that are not powers of two (where `% n` of a truncated hash
+        // was visibly biased).
+        for shards in [3u32, 5, 7, 12] {
+            let p = Partitioner::hash(shards);
+            let mut counts = vec![0u32; shards as usize];
+            let n = 50_000i64;
+            for k in 0..n {
+                counts[p.home(T, k) as usize] += 1;
+            }
+            let expect = n as f64 / f64::from(shards);
+            for (s, &c) in counts.iter().enumerate() {
+                let ratio = f64::from(c) / expect;
+                assert!(
+                    (0.9..=1.1).contains(&ratio),
+                    "shard {s}/{shards} got {c} of {n} keys (ratio {ratio:.3})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_map_routes_by_explicit_homes() {
+        let p = Partitioner::new(4, TableRule::Hash).with_rule(
+            T,
+            TableRule::RangeMap { bounds: vec![10, 20], homes: vec![2, 0, 3] },
+        );
+        assert_eq!(p.home(T, i64::MIN), 2);
+        assert_eq!(p.home(T, 9), 2);
+        assert_eq!(p.home(T, 10), 0);
+        assert_eq!(p.home(T, 19), 0);
+        assert_eq!(p.home(T, 20), 3);
+        assert_eq!(p.home(T, i64::MAX), 3);
+    }
+
+    #[test]
+    fn construction_rejects_malformed_rules() {
+        assert_eq!(
+            Partitioner::try_new(0, TableRule::Hash).unwrap_err(),
+            PartitionError::NoShards
+        );
+        assert_eq!(
+            Partitioner::try_new(2, TableRule::Stride { stride: 0 }).unwrap_err(),
+            PartitionError::BadStride { stride: 0 }
+        );
+        let base = || Partitioner::hash(2);
+        assert_eq!(
+            base().try_with_rule(T, TableRule::Range { bounds: vec![5, 5] }).unwrap_err(),
+            PartitionError::UnsortedBounds { at: 1 }
+        );
+        assert_eq!(
+            base().try_with_rule(T, TableRule::Range { bounds: vec![9, 3] }).unwrap_err(),
+            PartitionError::UnsortedBounds { at: 1 }
+        );
+        // Three ranges cannot be served by two shards — previously this
+        // clamped silently at routing time.
+        assert_eq!(
+            base().try_with_rule(T, TableRule::Range { bounds: vec![1, 2] }).unwrap_err(),
+            PartitionError::TooManyRanges { ranges: 3, shards: 2 }
+        );
+        assert_eq!(
+            base()
+                .try_with_rule(T, TableRule::RangeMap { bounds: vec![1], homes: vec![0] })
+                .unwrap_err(),
+            PartitionError::HomesMismatch { homes: 1, ranges: 2 }
+        );
+        assert_eq!(
+            base()
+                .try_with_rule(T, TableRule::RangeMap { bounds: vec![1], homes: vec![0, 2] })
+                .unwrap_err(),
+            PartitionError::HomeOutOfRange { home: 2, shards: 2 }
+        );
+        // A well-formed map is accepted.
+        assert!(base()
+            .try_with_rule(T, TableRule::RangeMap { bounds: vec![1], homes: vec![1, 0] })
+            .is_ok());
     }
 
     #[test]

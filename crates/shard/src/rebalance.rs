@@ -1,0 +1,549 @@
+//! Online repartitioning: split, merge and move key ranges between
+//! shards without stopping the world.
+//!
+//! A [`RebalancePlan`] is a list of rule edits plus a **cutover batch
+//! id**. Because the commit decision is a pure function of (snapshot,
+//! batch, TIDs), the aligned batch id is a global barrier — the same
+//! barrier the cross-shard merge and failover promotion already key off —
+//! so the server applies the plan atomically *between* batches: every
+//! batch `< cutover` routes and executes under the old rules, every batch
+//! `>= cutover` under the new ones, and no batch ever sees both. Rows
+//! migrate at the barrier by re-slicing the live per-shard databases with
+//! the new partitioner (`Database::partition_clone` + absorb); membership
+//! (phantom-guard) ownership re-homes for free because the execution
+//! scopes are derived from whichever partitioner is current.
+//!
+//! The [`RebalancePlanner`] watches per-shard load (the engines' batch
+//! histograms) and emits an [`Imbalance`] verdict once skew persists past
+//! a hysteresis window; the server turns that into a concrete split with
+//! [`plan_split`].
+
+use ltpg_storage::{Database, RowId, TableId};
+use std::fmt;
+
+use crate::partition::{PartitionError, Partitioner, TableRule};
+
+/// One rule edit inside a [`RebalancePlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebalanceOp {
+    /// Split the range of `table` containing key `at` in two: keys below
+    /// `at` keep their current home, keys `>= at` (up to the old range's
+    /// upper bound) re-home to shard `to`.
+    Split {
+        /// Table whose range is split.
+        table: TableId,
+        /// New split point; must not already be a bound.
+        at: i64,
+        /// Home of the upper half.
+        to: u32,
+    },
+    /// Re-home every range of `table` currently owned by `from` onto
+    /// `to`, coalescing ranges that become adjacent with equal homes.
+    /// After the merge, shard `from` owns no range of this table.
+    Merge {
+        /// Table whose ranges are merged.
+        table: TableId,
+        /// Shard giving up its ranges; must own at least one.
+        from: u32,
+        /// Shard receiving them.
+        to: u32,
+    },
+    /// Re-home the single range of `table` containing key `at` onto
+    /// shard `to`.
+    Move {
+        /// Table whose range moves.
+        table: TableId,
+        /// Any key inside the range to move.
+        at: i64,
+        /// New home of the range.
+        to: u32,
+    },
+    /// Replace `table`'s rule wholesale. The escape hatch for tables not
+    /// range-partitioned yet (hash or stride rules have no ranges to
+    /// split), and the op differential harnesses use to reshape routing
+    /// arbitrarily.
+    SetRule {
+        /// Table whose rule is replaced.
+        table: TableId,
+        /// The new rule; validated against the live shard count.
+        rule: TableRule,
+    },
+}
+
+/// A validated-on-schedule topology change applied at an aligned batch
+/// boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalancePlan {
+    /// First batch id routed under the new rules. Batches `< cutover`
+    /// run under the old partitioner.
+    pub cutover: u64,
+    /// Rule edits, applied in order.
+    pub ops: Vec<RebalanceOp>,
+}
+
+/// Why a plan was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebalanceError {
+    /// The plan contained no ops.
+    EmptyPlan,
+    /// Another plan is already scheduled and has not cut over yet.
+    AlreadyScheduled,
+    /// The cutover batch id has already been executed.
+    CutoverInPast {
+        /// Requested cutover.
+        cutover: u64,
+        /// The next batch id the server will execute.
+        next: u64,
+    },
+    /// A Split/Merge/Move targeted a table whose rule has no ranges
+    /// (hash, stride or replicated); use [`RebalanceOp::SetRule`].
+    NotRangePartitioned {
+        /// The targeted table.
+        table: TableId,
+    },
+    /// A split point that is already a bound (the split would create an
+    /// empty range).
+    SplitAtExistingBound {
+        /// The targeted table.
+        table: TableId,
+        /// The rejected split point.
+        at: i64,
+    },
+    /// A Merge named a `from` shard that owns no range of the table.
+    ShardNotPresent {
+        /// The targeted table.
+        table: TableId,
+        /// The shard that owns nothing there.
+        shard: u32,
+    },
+    /// A Merge with `from == to`.
+    SameShard {
+        /// The repeated shard.
+        shard: u32,
+    },
+    /// A destination shard past the last shard.
+    ShardOutOfRange {
+        /// The offending shard.
+        shard: u32,
+        /// Shards available.
+        shards: u32,
+    },
+    /// The edited rule failed partitioner validation.
+    Partition(PartitionError),
+}
+
+impl fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebalanceError::EmptyPlan => write!(f, "rebalance plan has no ops"),
+            RebalanceError::AlreadyScheduled => {
+                write!(f, "a rebalance plan is already scheduled")
+            }
+            RebalanceError::CutoverInPast { cutover, next } => {
+                write!(f, "cutover batch {cutover} already executed (next is {next})")
+            }
+            RebalanceError::NotRangePartitioned { table } => {
+                write!(f, "table {} is not range-partitioned", table.0)
+            }
+            RebalanceError::SplitAtExistingBound { table, at } => {
+                write!(f, "split point {at} is already a bound of table {}", table.0)
+            }
+            RebalanceError::ShardNotPresent { table, shard } => {
+                write!(f, "shard {shard} owns no range of table {}", table.0)
+            }
+            RebalanceError::SameShard { shard } => {
+                write!(f, "merge from and to are both shard {shard}")
+            }
+            RebalanceError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range for {shards} shards")
+            }
+            RebalanceError::Partition(e) => write!(f, "rule rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
+impl From<PartitionError> for RebalanceError {
+    fn from(e: PartitionError) -> Self {
+        RebalanceError::Partition(e)
+    }
+}
+
+/// The table's rule as an explicit `(bounds, homes)` range map. A plain
+/// `Range` rule is the map `homes = [0, 1, .., len]`.
+fn range_map_of(
+    part: &Partitioner,
+    table: TableId,
+) -> Result<(Vec<i64>, Vec<u32>), RebalanceError> {
+    match part.table_rule(table) {
+        TableRule::Range { bounds } => {
+            Ok((bounds.clone(), (0..=bounds.len() as u32).collect()))
+        }
+        TableRule::RangeMap { bounds, homes } => Ok((bounds.clone(), homes.clone())),
+        _ => Err(RebalanceError::NotRangePartitioned { table }),
+    }
+}
+
+/// Drop bounds separating adjacent ranges with equal homes, so merges
+/// and moves leave the map in canonical form.
+fn coalesce(bounds: &mut Vec<i64>, homes: &mut Vec<u32>) {
+    let mut i = 0;
+    while i + 1 < homes.len() {
+        if homes[i] == homes[i + 1] {
+            homes.remove(i + 1);
+            bounds.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn check_shard(shard: u32, shards: u32) -> Result<(), RebalanceError> {
+    if shard >= shards {
+        return Err(RebalanceError::ShardOutOfRange { shard, shards });
+    }
+    Ok(())
+}
+
+impl RebalancePlan {
+    /// Validate the plan against the live partitioner and derive the
+    /// post-cutover partitioner. Pure: the input is untouched, so the
+    /// server can route with the old rules until the cutover batch while
+    /// holding the pre-built new ones.
+    pub fn apply_to(&self, part: &Partitioner) -> Result<Partitioner, RebalanceError> {
+        if self.ops.is_empty() {
+            return Err(RebalanceError::EmptyPlan);
+        }
+        let shards = part.shards();
+        let mut out = part.clone();
+        for op in &self.ops {
+            out = match op {
+                RebalanceOp::SetRule { table, rule } => out.try_with_rule(*table, rule.clone())?,
+                RebalanceOp::Split { table, at, to } => {
+                    check_shard(*to, shards)?;
+                    let (mut bounds, mut homes) = range_map_of(&out, *table)?;
+                    if bounds.binary_search(at).is_ok() {
+                        return Err(RebalanceError::SplitAtExistingBound { table: *table, at: *at });
+                    }
+                    let i = bounds.partition_point(|b| *b <= *at);
+                    bounds.insert(i, *at);
+                    homes.insert(i + 1, *to);
+                    coalesce(&mut bounds, &mut homes);
+                    out.try_with_rule(*table, TableRule::RangeMap { bounds, homes })?
+                }
+                RebalanceOp::Merge { table, from, to } => {
+                    if from == to {
+                        return Err(RebalanceError::SameShard { shard: *from });
+                    }
+                    check_shard(*from, shards)?;
+                    check_shard(*to, shards)?;
+                    let (mut bounds, mut homes) = range_map_of(&out, *table)?;
+                    if !homes.contains(from) {
+                        return Err(RebalanceError::ShardNotPresent { table: *table, shard: *from });
+                    }
+                    for h in &mut homes {
+                        if h == from {
+                            *h = *to;
+                        }
+                    }
+                    coalesce(&mut bounds, &mut homes);
+                    out.try_with_rule(*table, TableRule::RangeMap { bounds, homes })?
+                }
+                RebalanceOp::Move { table, at, to } => {
+                    check_shard(*to, shards)?;
+                    let (mut bounds, mut homes) = range_map_of(&out, *table)?;
+                    let i = bounds.partition_point(|b| *b <= *at);
+                    homes[i] = *to;
+                    coalesce(&mut bounds, &mut homes);
+                    out.try_with_rule(*table, TableRule::RangeMap { bounds, homes })?
+                }
+            };
+        }
+        Ok(out)
+    }
+
+    /// Op counts `(splits, merges, moves, set_rules)` for telemetry.
+    pub fn op_counts(&self) -> (u64, u64, u64, u64) {
+        let mut c = (0, 0, 0, 0);
+        for op in &self.ops {
+            match op {
+                RebalanceOp::Split { .. } => c.0 += 1,
+                RebalanceOp::Merge { .. } => c.1 += 1,
+                RebalanceOp::Move { .. } => c.2 += 1,
+                RebalanceOp::SetRule { .. } => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Hysteresis knobs for the load-driven planner.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Emit only when the hottest shard's load exceeds this multiple of
+    /// the mean load.
+    pub imbalance_ratio: f64,
+    /// Consecutive over-threshold observations required before emitting
+    /// (filters one-batch spikes).
+    pub patience: u32,
+    /// Observations to stay silent after emitting, letting the cutover
+    /// and migration settle before re-measuring.
+    pub cooldown: u32,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { imbalance_ratio: 1.5, patience: 3, cooldown: 8 }
+    }
+}
+
+/// The planner's verdict: sustained skew from `hot` toward `cold`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Imbalance {
+    /// The most loaded shard.
+    pub hot: u32,
+    /// The least loaded shard (split target).
+    pub cold: u32,
+    /// Hot load over mean load at the emitting observation.
+    pub ratio: f64,
+}
+
+/// Watches cumulative per-shard load and emits an [`Imbalance`] once the
+/// skew persists past the hysteresis window. Feed it one cumulative
+/// sample per shard per tick (e.g. the engines' `ltpg.batch.total_ns`
+/// histogram sums); it differences internally.
+#[derive(Debug)]
+pub struct RebalancePlanner {
+    cfg: PlannerConfig,
+    last: Vec<f64>,
+    streak: u32,
+    cooldown_left: u32,
+}
+
+impl RebalancePlanner {
+    /// A planner with the given hysteresis knobs.
+    pub fn new(cfg: PlannerConfig) -> Self {
+        RebalancePlanner { cfg, last: Vec::new(), streak: 0, cooldown_left: 0 }
+    }
+
+    /// Observe one round of cumulative per-shard load. `Some` when skew
+    /// has persisted for `patience` consecutive rounds (then enters the
+    /// cooldown window).
+    pub fn observe(&mut self, cumulative: &[f64]) -> Option<Imbalance> {
+        let n = cumulative.len();
+        if self.last.len() != n {
+            self.last = vec![0.0; n];
+        }
+        let delta: Vec<f64> =
+            cumulative.iter().zip(&self.last).map(|(c, l)| (c - l).max(0.0)).collect();
+        self.last.copy_from_slice(cumulative);
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            self.streak = 0;
+            return None;
+        }
+        let total: f64 = delta.iter().sum();
+        if n < 2 || total <= 0.0 {
+            self.streak = 0;
+            return None;
+        }
+        let mean = total / n as f64;
+        let (hot, max) = delta
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, v)| (i as u32, *v))
+            .expect("non-empty");
+        let cold = delta
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as u32)
+            .expect("non-empty");
+        let ratio = max / mean;
+        if ratio < self.cfg.imbalance_ratio || hot == cold {
+            self.streak = 0;
+            return None;
+        }
+        self.streak += 1;
+        if self.streak < self.cfg.patience {
+            return None;
+        }
+        self.streak = 0;
+        self.cooldown_left = self.cfg.cooldown;
+        Some(Imbalance { hot, cold, ratio })
+    }
+}
+
+/// Turn an [`Imbalance`] into a concrete plan: split the hottest shard's
+/// most populous range-partitioned table at the median occupied key,
+/// re-homing the upper half onto `to`. `db` is the hot shard's live
+/// slice. `None` when no range-partitioned table holds at least two keys
+/// on `hot` (nothing to split) or the median lands on an existing bound.
+pub fn plan_split(
+    part: &Partitioner,
+    db: &Database,
+    hot: u32,
+    to: u32,
+    cutover: u64,
+) -> Option<RebalancePlan> {
+    let mut best: Option<(TableId, Vec<i64>)> = None;
+    for (id, t) in db.iter() {
+        if !matches!(part.table_rule(id), TableRule::Range { .. } | TableRule::RangeMap { .. }) {
+            continue;
+        }
+        let mut keys: Vec<i64> = (0..t.len())
+            .filter_map(|r| t.key_of(RowId(r as u32)))
+            .filter(|k| part.home(id, *k) == hot)
+            .collect();
+        if keys.len() < 2 {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(_, b)| keys.len() > b.len()) {
+            keys.sort_unstable();
+            best = Some((id, keys));
+        }
+    }
+    let (table, keys) = best?;
+    let at = keys[keys.len() / 2];
+    let plan = RebalancePlan { cutover, ops: vec![RebalanceOp::Split { table, at, to }] };
+    plan.apply_to(part).ok()?;
+    Some(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(0);
+
+    fn ranged(shards: u32, bounds: Vec<i64>) -> Partitioner {
+        Partitioner::hash(shards).with_rule(T, TableRule::Range { bounds })
+    }
+
+    fn map_of(p: &Partitioner) -> (Vec<i64>, Vec<u32>) {
+        match p.table_rule(T) {
+            TableRule::RangeMap { bounds, homes } => (bounds.clone(), homes.clone()),
+            other => panic!("expected a range map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn split_rehomes_the_upper_half() {
+        let p = ranged(4, vec![100]);
+        let plan = RebalancePlan {
+            cutover: 5,
+            ops: vec![RebalanceOp::Split { table: T, at: 50, to: 3 }],
+        };
+        let q = plan.apply_to(&p).unwrap();
+        assert_eq!(map_of(&q), (vec![50, 100], vec![0, 3, 1]));
+        assert_eq!(q.home(T, 49), 0);
+        assert_eq!(q.home(T, 50), 3);
+        assert_eq!(q.home(T, 99), 3);
+        assert_eq!(q.home(T, 100), 1);
+        // Untouched keys keep their homes.
+        assert_eq!(p.home(T, 100), q.home(T, 100));
+    }
+
+    #[test]
+    fn merge_rehomes_and_coalesces() {
+        let p = ranged(4, vec![100, 200]);
+        let plan = RebalancePlan {
+            cutover: 1,
+            ops: vec![RebalanceOp::Merge { table: T, from: 1, to: 0 }],
+        };
+        let q = plan.apply_to(&p).unwrap();
+        // [.. ,100) -> 0, [100, 200) -> 0 coalesce into one range.
+        assert_eq!(map_of(&q), (vec![200], vec![0, 2]));
+        assert_eq!(q.home(T, 150), 0);
+        assert_eq!(q.home(T, 200), 2);
+    }
+
+    #[test]
+    fn move_rehomes_a_single_range() {
+        let p = ranged(4, vec![100, 200]);
+        let plan = RebalancePlan {
+            cutover: 1,
+            ops: vec![RebalanceOp::Move { table: T, at: 150, to: 3 }],
+        };
+        let q = plan.apply_to(&p).unwrap();
+        assert_eq!(map_of(&q), (vec![100, 200], vec![0, 3, 2]));
+    }
+
+    #[test]
+    fn plans_compose_and_validate() {
+        let p = ranged(4, vec![100]);
+        let plan = RebalancePlan {
+            cutover: 1,
+            ops: vec![
+                RebalanceOp::Split { table: T, at: 50, to: 2 },
+                RebalanceOp::Merge { table: T, from: 1, to: 2 },
+            ],
+        };
+        let q = plan.apply_to(&p).unwrap();
+        // Split yields homes [0,2,1]; merging 1 into 2 coalesces the two
+        // trailing ranges.
+        assert_eq!(map_of(&q), (vec![50], vec![0, 2]));
+
+        let errs: Vec<RebalanceError> = [
+            RebalancePlan { cutover: 0, ops: vec![] },
+            RebalancePlan { cutover: 0, ops: vec![RebalanceOp::Split { table: T, at: 100, to: 1 }] },
+            RebalancePlan { cutover: 0, ops: vec![RebalanceOp::Split { table: T, at: 5, to: 9 }] },
+            RebalancePlan { cutover: 0, ops: vec![RebalanceOp::Merge { table: T, from: 3, to: 0 }] },
+            RebalancePlan { cutover: 0, ops: vec![RebalanceOp::Merge { table: T, from: 1, to: 1 }] },
+            RebalancePlan {
+                cutover: 0,
+                ops: vec![RebalanceOp::Split { table: TableId(9), at: 5, to: 1 }],
+            },
+        ]
+        .iter()
+        .map(|plan| plan.apply_to(&p).unwrap_err())
+        .collect();
+        assert_eq!(errs[0], RebalanceError::EmptyPlan);
+        assert_eq!(errs[1], RebalanceError::SplitAtExistingBound { table: T, at: 100 });
+        assert_eq!(errs[2], RebalanceError::ShardOutOfRange { shard: 9, shards: 4 });
+        assert_eq!(errs[3], RebalanceError::ShardNotPresent { table: T, shard: 3 });
+        assert_eq!(errs[4], RebalanceError::SameShard { shard: 1 });
+        // A hash-ruled table (TableId(9) falls back to the default rule)
+        // cannot be range-split.
+        assert_eq!(errs[5], RebalanceError::NotRangePartitioned { table: TableId(9) });
+    }
+
+    #[test]
+    fn planner_applies_patience_and_cooldown() {
+        let mut pl = RebalancePlanner::new(PlannerConfig {
+            imbalance_ratio: 1.5,
+            patience: 3,
+            cooldown: 2,
+        });
+        // Cumulative loads: shard 0 gains 400/round, shard 1 gains 100.
+        let mut cum = [0.0f64, 0.0];
+        let mut verdicts = Vec::new();
+        for round in 0..8 {
+            cum[0] += 400.0;
+            cum[1] += 100.0;
+            verdicts.push((round, pl.observe(&cum)));
+        }
+        // Patience 3: silent on rounds 0-1, emits on round 2; cooldown 2
+        // covers rounds 3-4; streak rebuilds on 5-6, emits again on 7.
+        let emitted: Vec<usize> =
+            verdicts.iter().filter(|(_, v)| v.is_some()).map(|(r, _)| *r).collect();
+        assert_eq!(emitted, vec![2, 7]);
+        let v = verdicts[2].1.as_ref().unwrap();
+        assert_eq!((v.hot, v.cold), (0, 1));
+        assert!(v.ratio > 1.5);
+    }
+
+    #[test]
+    fn planner_ignores_balanced_and_idle_load() {
+        let mut pl = RebalancePlanner::new(PlannerConfig::default());
+        assert_eq!(pl.observe(&[0.0, 0.0]), None);
+        let mut cum = [0.0f64, 0.0];
+        for _ in 0..10 {
+            cum[0] += 100.0;
+            cum[1] += 100.0;
+            assert_eq!(pl.observe(&cum), None, "balanced load must never emit");
+        }
+    }
+}

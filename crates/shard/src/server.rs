@@ -44,12 +44,13 @@ use ltpg::{
 };
 use ltpg_gpu_sim::{Device, DeviceError, DeviceFaultPlan};
 use ltpg_replica::{HealthMonitor, HealthVerdict, Heartbeat, MergedWords, ReplicaConfig, ReplicaError, ReplicaSet};
-use ltpg_storage::Database;
+use ltpg_storage::{Database, TableId};
 use ltpg_telemetry::{names, Registry};
 use ltpg_txn::{decode_batch, Batch, Tid, TidGen, Txn};
 
 use crate::cpu::{CpuPrepared, CpuShardEngine};
 use crate::partition::Partitioner;
+use crate::rebalance::{plan_split, PlannerConfig, RebalanceError, RebalancePlan, RebalancePlanner};
 use crate::remote::RemoteView;
 use crate::router::{Route, Router};
 
@@ -96,6 +97,10 @@ pub struct ShardedStats {
     pub degraded_shards: u32,
     /// Standby-row promotions (full-topology failovers).
     pub failovers: u64,
+    /// Rebalance plans applied at cutover boundaries.
+    pub rebalances: u64,
+    /// Rows copied between shard slices by rebalance cutovers.
+    pub rows_migrated: u64,
 }
 
 impl ShardedStats {
@@ -195,6 +200,15 @@ pub struct ShardedServer {
     /// count at loss.
     lost_device: Option<(usize, Arc<Device>)>,
     lost_at_batch: Option<u64>,
+    /// A validated topology change waiting for its cutover batch id,
+    /// with the pre-built post-cutover partitioner.
+    pending_rebalance: Option<(RebalancePlan, Partitioner)>,
+    /// Load-driven rebalance planner; `None` until
+    /// [`set_auto_rebalance`](Self::set_auto_rebalance).
+    planner: Option<RebalancePlanner>,
+    /// The replica policy from [`attach_replicas`](Self::attach_replicas),
+    /// kept so the pool can be rebuilt over post-cutover checkpoints.
+    replica_cfg: Option<ReplicaConfig>,
 }
 
 impl ShardedServer {
@@ -245,6 +259,9 @@ impl ShardedServer {
             tick_no: 0,
             lost_device: None,
             lost_at_batch: None,
+            pending_rebalance: None,
+            planner: None,
+            replica_cfg: None,
         }
     }
 
@@ -269,6 +286,7 @@ impl ShardedServer {
         self.monitors = (0..self.shards.len())
             .map(|_| HealthMonitor::new(cfg.heartbeat_miss_threshold, &self.telemetry))
             .collect();
+        self.replica_cfg = Some(cfg.clone());
     }
 
     /// Whether a standby pool is attached.
@@ -394,8 +412,175 @@ impl ShardedServer {
         let _ = writeln!(out, "merge stall           {:.1} us", s.merge_stall_ns / 1e3);
         let _ = writeln!(out, "degraded shards       {}", s.degraded_shards);
         let _ = writeln!(out, "failovers             {}", s.failovers);
+        let _ = writeln!(out, "rebalances            {}", s.rebalances);
+        let _ = writeln!(out, "rows migrated         {}", s.rows_migrated);
         let _ = writeln!(out, "standbys alive        {}", self.standbys_alive());
         out
+    }
+
+    /// Recompute the degraded-shard count from the live topology and
+    /// publish it to both the stats and the `SHARD_DEGRADED` gauge. The
+    /// single authority for that number — degradation, re-promotion and
+    /// failover all route through here so the two views cannot drift.
+    fn refresh_degraded(&mut self) {
+        self.stats.degraded_shards = self.shards.iter().filter(|sh| sh.degraded).count() as u32;
+        self.telemetry.gauge(names::SHARD_DEGRADED).set(self.stats.degraded_shards as i64);
+    }
+
+    /// Schedule an online topology change. The plan is validated against
+    /// the live partitioner *now* (a malformed plan never waits at the
+    /// barrier) and applied atomically when the next batch id reaches
+    /// `plan.cutover`: batches before the cutover route under the old
+    /// rules, batches from it under the new ones, with rows migrated
+    /// between slices at the boundary. One plan may be in flight at a
+    /// time.
+    pub fn schedule_rebalance(&mut self, plan: RebalancePlan) -> Result<(), RebalanceError> {
+        if self.pending_rebalance.is_some() {
+            return Err(RebalanceError::AlreadyScheduled);
+        }
+        let next = self.shards[0].durability.logged_batches() as u64;
+        if plan.cutover < next {
+            return Err(RebalanceError::CutoverInPast { cutover: plan.cutover, next });
+        }
+        let new_part = plan.apply_to(self.router.partitioner())?;
+        self.telemetry.gauge(names::REBALANCE_PENDING).set(1);
+        self.pending_rebalance = Some((plan, new_part));
+        Ok(())
+    }
+
+    /// Whether a scheduled plan is still waiting for its cutover batch.
+    pub fn rebalance_pending(&self) -> bool {
+        self.pending_rebalance.is_some()
+    }
+
+    /// Enable the load-driven planner: per-shard engine load (the
+    /// `ltpg.batch.total_ns` histograms) is observed every tick, and once
+    /// imbalance persists past the hysteresis window a median split of
+    /// the hottest shard's range is scheduled automatically.
+    pub fn set_auto_rebalance(&mut self, cfg: PlannerConfig) {
+        self.planner = Some(RebalancePlanner::new(cfg));
+    }
+
+    /// Serve a consistent snapshot read from the standby pool: route
+    /// `(table, key)` by the current partitioner and look the row up in
+    /// the owning shard's slice of the freshest standby row — a
+    /// consistent cut a few batches behind the tail, costing the serving
+    /// engines nothing. Returns the row values and the cut's batch id;
+    /// `None` without an attached pool or when the key is absent at the
+    /// cut.
+    pub fn snapshot_read(&self, table: TableId, key: i64) -> Option<(Vec<i64>, u64)> {
+        let set = self.replicas.as_ref()?;
+        let home = self.router.partitioner().home(table, key) as usize;
+        set.snapshot_read(home, table, key)
+    }
+
+    /// Feed the planner one observation and schedule the split it asks
+    /// for. Skipped while a plan is pending or the topology is degraded
+    /// (migration wants every slice healthy).
+    fn maybe_plan_rebalance(&mut self) {
+        let Some(planner) = &mut self.planner else { return };
+        if self.pending_rebalance.is_some() || self.stats.degraded_shards > 0 {
+            return;
+        }
+        let loads: Vec<f64> = self
+            .shards
+            .iter()
+            .map(|sh| sh.telemetry.histogram(names::LTPG_BATCH_TOTAL_NS).snapshot().sum as f64)
+            .collect();
+        let Some(imb) = planner.observe(&loads) else { return };
+        let cutover = self.shards[0].durability.logged_batches() as u64 + 1;
+        let part = self.router.partitioner();
+        let db = self.shards[imb.hot as usize].exec.database();
+        let Some(plan) = plan_split(part, db, imb.hot, imb.cold, cutover) else { return };
+        if self.schedule_rebalance(plan).is_ok() {
+            self.telemetry.counter(names::REBALANCE_PLANNER_EMITTED).inc();
+        }
+    }
+
+    /// Apply the pending plan once the next batch id reaches its cutover:
+    /// re-slice every shard's live database under the new rules (keeping
+    /// surviving rows, absorbing the rows migrating in), install fresh
+    /// executors over the new slices, take a joint checkpoint at the
+    /// cutover id (so WAL replay never crosses a rule change), swap the
+    /// router, and rebuild the standby pool over the new checkpoints.
+    fn maybe_apply_rebalance(&mut self) {
+        let due = match &self.pending_rebalance {
+            Some((plan, _)) => self.shards[0].durability.logged_batches() as u64 >= plan.cutover,
+            None => return,
+        };
+        if !due {
+            return;
+        }
+        let (plan, new_part) = self.pending_rebalance.take().expect("pending plan checked");
+        let started = std::time::Instant::now();
+        let n = self.shards.len();
+        let mut migrated = 0u64;
+        let new_slices: Vec<Database> = (0..n)
+            .map(|s| {
+                let shard_id = s as u32;
+                let base = self.shards[s]
+                    .exec
+                    .database()
+                    .partition_clone(new_part.slice_pred(shard_id));
+                for (r, sh) in self.shards.iter().enumerate() {
+                    if r != s {
+                        migrated +=
+                            base.absorb_rows(sh.exec.database(), new_part.slice_pred(shard_id));
+                    }
+                }
+                base
+            })
+            .collect();
+        for (s, slice) in new_slices.into_iter().enumerate() {
+            // Joint checkpoint at the cutover id: degradation replay and
+            // failover catch-up start from post-cutover images and never
+            // span the rule change.
+            self.shards[s].durability.checkpoint(&slice);
+            self.shards[s].exec = if self.shards[s].degraded {
+                ShardExec::Cpu(Box::new(CpuShardEngine::new(slice, self.engine_cfg.clone())))
+            } else {
+                // Fresh engines over the new slices (fault plans armed on
+                // the old devices are not carried over, as in degradation).
+                ShardExec::Gpu(Box::new(LtpgEngine::with_telemetry(
+                    slice,
+                    self.engine_cfg.clone(),
+                    Arc::clone(&self.shards[s].telemetry),
+                )))
+            };
+        }
+        self.router = Router::new(new_part);
+        // Standby rows hold pre-cutover slices; rebuild the pool from the
+        // cutover checkpoints, one fresh row per row still alive.
+        if let Some(old) = self.replicas.take() {
+            let alive = old.rows_alive();
+            let images: Vec<Database> =
+                self.shards.iter().map(|sh| sh.durability.checkpoint_image()).collect();
+            let base = self.shards[0].durability.checkpoint_batch();
+            let cfg = ReplicaConfig {
+                standbys: alive,
+                ..self.replica_cfg.clone().unwrap_or_default()
+            };
+            self.replicas = Some(ReplicaSet::new(
+                images,
+                base,
+                self.engine_cfg.clone(),
+                &cfg,
+                Arc::clone(&self.telemetry),
+            ));
+        }
+        let (splits, merges, moves, set_rules) = plan.op_counts();
+        self.telemetry.counter(names::REBALANCE_PLANS_APPLIED).inc();
+        self.telemetry.counter(names::REBALANCE_SPLITS).add(splits);
+        self.telemetry.counter(names::REBALANCE_MERGES).add(merges);
+        self.telemetry.counter(names::REBALANCE_MOVES).add(moves);
+        self.telemetry.counter(names::REBALANCE_SET_RULES).add(set_rules);
+        self.telemetry.counter(names::REBALANCE_ROWS_MIGRATED).add(migrated);
+        self.telemetry
+            .histogram(names::REBALANCE_CUTOVER_NS)
+            .record_ns(started.elapsed().as_nanos() as f64);
+        self.telemetry.gauge(names::REBALANCE_PENDING).set(0);
+        self.stats.rebalances += 1;
+        self.stats.rows_migrated += migrated;
     }
 
     /// Scope closures for shard `s`; `None` when the server has one shard
@@ -622,8 +807,7 @@ impl ShardedServer {
                 )));
             }
         }
-        self.stats.degraded_shards = self.shards.iter().filter(|sh| sh.degraded).count() as u32;
-        self.telemetry.gauge(names::SHARD_DEGRADED).set(self.stats.degraded_shards as i64);
+        self.refresh_degraded();
         Ok(last_merged)
     }
 
@@ -676,8 +860,7 @@ impl ShardedServer {
         }
         // The promoted row replaces the whole topology with healthy GPU
         // engines, so any CPU-degraded shard is healed by the cutover.
-        self.stats.degraded_shards = 0;
-        self.telemetry.gauge(names::SHARD_DEGRADED).set(0);
+        self.refresh_degraded();
         self.stats.failovers += 1;
         self.stats.sim_ns += ns;
         for m in &mut self.monitors {
@@ -752,9 +935,7 @@ impl ShardedServer {
                 device,
             )));
             self.shards[s].degraded = false;
-            self.stats.degraded_shards =
-                self.shards.iter().filter(|sh| sh.degraded).count() as u32;
-            self.telemetry.gauge(names::SHARD_DEGRADED).set(self.stats.degraded_shards as i64);
+            self.refresh_degraded();
             self.telemetry.counter(names::REPLICA_REPROMOTIONS).inc();
             if let Some(m) = self.monitors.get_mut(s) {
                 m.reset();
@@ -800,6 +981,9 @@ impl ShardedServer {
         // next batch forms — promotion never interleaves with execution.
         self.maybe_rejoin_recovered_device();
         self.probe_heartbeats()?;
+        // The cutover barrier: a scheduled plan whose batch id has
+        // arrived re-slices the topology before the next batch forms.
+        self.maybe_apply_rebalance();
         let due = self.requeue.pop_front().unwrap_or_default();
         if due.is_empty() && self.inbox.is_empty() {
             if self.requeue.iter().all(Vec::is_empty) {
@@ -938,6 +1122,7 @@ impl ShardedServer {
         self.stats.abort_events += aborted.len() as u64;
         self.stats.sim_ns += sim_ns;
         self.telemetry.histogram(names::SHARD_TICK_NS).record_ns(sim_ns);
+        self.maybe_plan_rebalance();
         // Steady-state replication: every standby row replays the batch
         // just executed (and closes any residual lag) at the boundary.
         self.replicate_tail();

@@ -87,6 +87,34 @@ impl Database {
         }
     }
 
+    /// Copy every live row of `other` that satisfies `keep(table, key)`
+    /// and is not already present here into this database's tables (the
+    /// two must share a table layout). Returns the number of rows copied.
+    ///
+    /// This is the rebalance migration primitive: a shard's post-cutover
+    /// slice is its own surviving rows ([`partition_clone`](Self::partition_clone)
+    /// under the new rules) plus the rows absorbed from every other
+    /// shard's slice. The presence check makes replicated tables — whose
+    /// rows exist identically on every source — merge first-wins instead
+    /// of burning duplicate slots.
+    pub fn absorb_rows(&self, other: &Database, keep: impl Fn(TableId, i64) -> bool) -> u64 {
+        assert_eq!(self.table_count(), other.table_count(), "table layouts must line up");
+        let mut copied = 0;
+        for (id, src) in other.iter() {
+            let dst = self.table(id);
+            for r in 0..src.len() {
+                let rid = crate::table::RowId(r as u32);
+                let Some(k) = src.key_of(rid) else { continue };
+                if !keep(id, k) || dst.lookup(k).is_some() {
+                    continue;
+                }
+                dst.insert(k, &src.row_values(rid)).expect("absorb_rows insert");
+                copied += 1;
+            }
+        }
+        copied
+    }
+
     /// Digest of the complete live state. Two databases that executed the
     /// same committed transactions agree on this value.
     pub fn state_digest(&self) -> u64 {

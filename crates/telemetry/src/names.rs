@@ -265,6 +265,29 @@ pub const ADAPTIVE_SWITCHES: &str = "adaptive.switches";
 pub const ADAPTIVE_CHOICES: [&str; 3] =
     [ADAPTIVE_CHOICE_LTPG, ADAPTIVE_CHOICE_BLOCKSTM, ADAPTIVE_CHOICE_ADDRGRAPH];
 
+// --- elastic sharding (`ltpg-shard` rebalance) -------------------------------
+
+/// Counter: rebalance plans applied at a cutover boundary.
+pub const REBALANCE_PLANS_APPLIED: &str = "rebalance.plans_applied";
+/// Counter: range splits executed (one per Split op applied).
+pub const REBALANCE_SPLITS: &str = "rebalance.splits";
+/// Counter: range merges executed (one per Merge op applied).
+pub const REBALANCE_MERGES: &str = "rebalance.merges";
+/// Counter: range moves executed (one per Move op applied).
+pub const REBALANCE_MOVES: &str = "rebalance.moves";
+/// Counter: wholesale rule replacements executed (one per SetRule op).
+pub const REBALANCE_SET_RULES: &str = "rebalance.set_rules";
+/// Counter: rows copied between shard slices at cutover boundaries.
+pub const REBALANCE_ROWS_MIGRATED: &str = "rebalance.rows_migrated";
+/// Counter: plans emitted by the load-driven planner (scheduled plans,
+/// whether or not they have cut over yet).
+pub const REBALANCE_PLANNER_EMITTED: &str = "rebalance.planner.emitted";
+/// Histogram: wall-clock ns spent applying one cutover (slice rebuild,
+/// row migration, engine reinstall, checkpoint, replica re-attach).
+pub const REBALANCE_CUTOVER_NS: &str = "rebalance.cutover_ns";
+/// Gauge: 1 while a plan is scheduled but has not cut over, else 0.
+pub const REBALANCE_PENDING: &str = "rebalance.pending";
+
 // --- replication & failover (`ltpg-replica`) --------------------------------
 
 /// Counter: standbys promoted to primary (failover cutovers).
